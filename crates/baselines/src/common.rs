@@ -1,0 +1,168 @@
+//! Shared helpers for the baseline implementations.
+
+use speck_simt::{launch, CostModel, DeviceConfig, KernelConfig, KernelReport, MemTracker};
+use speck_sparse::Csr;
+
+/// Per-row product counts (`sum of referenced B row lengths`) — the upper
+/// bound every baseline's first analysis step computes.
+pub fn products_per_row(a: &Csr<f64>, b: &Csr<f64>) -> Vec<u64> {
+    (0..a.rows())
+        .map(|i| {
+            a.row(i)
+                .0
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum()
+        })
+        .collect()
+}
+
+/// Charges the analysis kernel common to hash-based baselines: one pass
+/// over NNZ(A) summing B row extents.
+pub fn charge_count_kernel(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    name: &str,
+    rows: usize,
+    nnz_a: usize,
+) -> KernelReport {
+    let threads = 256;
+    let rows_per_block = rows
+        .div_ceil(dev.num_sms * dev.blocks_per_sm(threads, 0))
+        .clamp(dev.warp_size, 4096);
+    let grid = rows.div_ceil(rows_per_block).max(1);
+    let per_block_nnz = nnz_a.div_ceil(grid.max(1));
+    launch(dev, cost, name, grid, KernelConfig::new(threads, 0), |ctx| {
+        ctx.charge_gmem_stream(threads, rows_per_block, 8);
+        ctx.charge_gmem_stream(threads, per_block_nnz, 4);
+        ctx.charge_gmem_scatter(per_block_nnz as u64);
+    })
+}
+
+/// Charges the scatter-style binning kernel used by nsparse/bhSPARSE: one
+/// global atomic *per row* (the paper contrasts this with spECK's
+/// order-preserving batched binning, §4.2).
+pub fn charge_scatter_binning(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    name: &str,
+    rows: usize,
+) -> KernelReport {
+    let threads = 256;
+    let per_block = threads * 16;
+    let grid = rows.div_ceil(per_block).max(1);
+    launch(dev, cost, name, grid, KernelConfig::new(threads, 0), |ctx| {
+        let n = per_block.min(rows.saturating_sub(ctx.block_id() * per_block));
+        ctx.charge_gmem_stream(threads, n, 4);
+        ctx.charge_gmem_atomic(n as u64); // per-row atomic append
+        ctx.charge_gmem_scatter(n as u64); // scattered row-id store
+    })
+}
+
+/// Simple accumulator of kernel reports + fixed costs into a total time,
+/// with a memory tracker and the device-memory failure check.
+pub struct RunAccounting {
+    dev: DeviceConfig,
+    seconds: f64,
+    /// Device-memory tracker (peak is reported to the harness).
+    pub mem: MemTracker,
+}
+
+impl RunAccounting {
+    /// New accounting context for `dev`.
+    pub fn new(dev: &DeviceConfig) -> Self {
+        Self {
+            dev: dev.clone(),
+            seconds: 0.0,
+            mem: MemTracker::new(),
+        }
+    }
+
+    /// Adds a kernel's simulated time.
+    pub fn kernel(&mut self, r: &KernelReport) {
+        self.seconds += r.sim_time_s;
+    }
+
+    /// Adds one allocation's fixed overhead and tracks its bytes.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.mem.alloc(bytes);
+        self.seconds += self
+            .dev
+            .cycles_to_seconds(self.dev.alloc_overhead_cycles);
+    }
+
+    /// Tracks the output matrix: memory counted, allocation time not
+    /// (paper §6 convention).
+    pub fn alloc_output(&mut self, bytes: usize) {
+        self.mem.alloc(bytes);
+    }
+
+    /// Adds raw seconds (host-side steps).
+    pub fn fixed(&mut self, seconds: f64) {
+        self.seconds += seconds;
+    }
+
+    /// Total simulated seconds so far.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Err(reason) when the peak allocation exceeded device memory.
+    pub fn check_memory(&self) -> Result<(), String> {
+        if self.mem.peak() > self.dev.memory_bytes {
+            Err(format!(
+                "out of device memory: needs {} MiB, device has {} MiB",
+                self.mem.peak() >> 20,
+                self.dev.memory_bytes >> 20
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Output-matrix bytes in CSR (offsets + columns + f64 values).
+pub fn csr_bytes(rows: usize, nnz: usize) -> usize {
+    (rows + 1) * 8 + nnz * 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speck_sparse::gen::uniform_random;
+
+    #[test]
+    fn products_per_row_matches_total() {
+        let a = uniform_random(100, 100, 1, 6, 3);
+        let per_row = products_per_row(&a, &a);
+        assert_eq!(per_row.iter().sum::<u64>(), a.products(&a));
+    }
+
+    #[test]
+    fn accounting_accumulates_and_checks_memory() {
+        let dev = DeviceConfig::tiny();
+        let mut acc = RunAccounting::new(&dev);
+        acc.fixed(1e-3);
+        acc.alloc(1024);
+        assert!(acc.seconds() > 1e-3);
+        assert!(acc.check_memory().is_ok());
+        acc.alloc(dev.memory_bytes);
+        assert!(acc.check_memory().is_err());
+    }
+
+    #[test]
+    fn scatter_binning_costs_scale_with_rows() {
+        let dev = DeviceConfig::titan_v();
+        let cm = CostModel::default();
+        // Large enough that the device's block slots saturate and the
+        // makespan becomes throughput-bound.
+        let small = charge_scatter_binning(&dev, &cm, "bin", 500_000);
+        let large = charge_scatter_binning(&dev, &cm, "bin", 5_000_000);
+        assert!(large.sim_cycles > small.sim_cycles);
+    }
+
+    #[test]
+    fn csr_bytes_formula() {
+        assert_eq!(csr_bytes(10, 100), 11 * 8 + 1200);
+    }
+}

@@ -1,0 +1,151 @@
+//! Baseline GPU SpGEMM methods, re-implemented on the same SIMT simulator
+//! as spECK so the paper's comparisons (Table 1/3, Figs. 6–10) can be
+//! regenerated on one substrate.
+//!
+//! | Module | Stands in for | Strategy |
+//! |---|---|---|
+//! | [`nsparse`] | nsparse \[16\] | hash, bins by products, fixed 32 threads/row |
+//! | [`cusp_esc`] | CUSP \[3\] | global expand–sort–compress |
+//! | [`ac_spgemm`] | AC-SpGEMM \[19\] | chunked local ESC, adaptive, over-allocating |
+//! | [`rmerge`] | RMerge \[10\] | iterative pairwise row merging |
+//! | [`bhsparse`] | bhSPARSE \[14\] | hybrid binning (heap / bitonic / global merge) |
+//! | [`cusparse_like`] | cuSPARSE \[17\] | two-phase global-memory hashing |
+//! | [`kokkos_like`] | KokkosKernels \[7\] | portable hashing, unsorted output |
+//! | [`mkl_like`] | Intel MKL (CPU) | multicore Gustavson, no device launch cost |
+//! | [`speck_method`] | spECK (this repo) | adapter over `speck-core` |
+//!
+//! Each method is an *algorithmic skeleton* faithful to the published
+//! approach: the same accumulator type, the same analysis/binning
+//! overheads, the same memory footprint scaling — executed functionally
+//! (outputs are validated against the sequential reference) with costs
+//! accounted by the shared simulator.
+
+#![warn(missing_docs)]
+
+pub mod ac_spgemm;
+pub mod bhsparse;
+pub mod common;
+pub mod cusp_esc;
+pub mod cusparse_like;
+pub mod kokkos_like;
+pub mod mkl_like;
+pub mod nsparse;
+pub mod rmerge;
+pub mod speck_method;
+
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::Csr;
+
+/// Outcome of one method on one multiplication.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// The computed matrix (canonicalised to sorted CSR by the harness
+    /// even when `sorted_output` is false).
+    pub c: Option<Csr<f64>>,
+    /// Simulated execution time in seconds (excluding the output-matrix
+    /// allocation, per the paper's measurement convention).
+    pub sim_time_s: f64,
+    /// Peak simulated device memory in bytes (output matrix included).
+    pub peak_mem_bytes: usize,
+    /// Whether the method returns CSR-compliant sorted columns
+    /// (KokkosKernels does not — paper §6).
+    pub sorted_output: bool,
+    /// Failure reason, when the method could not complete (out of device
+    /// memory, unsupported row size, ...) — the paper's "#inv." row.
+    pub failed: Option<String>,
+}
+
+impl MethodResult {
+    /// A failure result with zeroed measurements.
+    pub fn failure(reason: impl Into<String>) -> Self {
+        MethodResult {
+            c: None,
+            sim_time_s: f64::INFINITY,
+            peak_mem_bytes: 0,
+            sorted_output: true,
+            failed: Some(reason.into()),
+        }
+    }
+
+    /// True when the method produced a (possibly unsorted) result.
+    pub fn ok(&self) -> bool {
+        self.failed.is_none()
+    }
+}
+
+/// A SpGEMM implementation under comparison.
+pub trait SpgemmMethod: Send + Sync {
+    /// Short name used in tables (matching the paper's abbreviations).
+    fn name(&self) -> &'static str;
+    /// Computes `C = A · B` and reports simulated time and memory.
+    fn multiply(
+        &self,
+        dev: &DeviceConfig,
+        cost: &CostModel,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+    ) -> MethodResult;
+}
+
+/// All methods in the paper's comparison order: cuSPARSE, AC-SpGEMM,
+/// nsparse, RMerge, bhSPARSE, spECK, KokkosKernels, MKL.
+pub fn all_methods() -> Vec<Box<dyn SpgemmMethod>> {
+    vec![
+        Box::new(cusparse_like::CusparseLike),
+        Box::new(ac_spgemm::AcSpgemm::default()),
+        Box::new(nsparse::NsparseLike),
+        Box::new(rmerge::RMergeLike),
+        Box::new(bhsparse::BhSparse),
+        Box::new(speck_method::SpeckMethod::default()),
+        Box::new(kokkos_like::KokkosLike),
+        Box::new(mkl_like::MklLike::default()),
+    ]
+}
+
+/// The GPU-only subset (excludes the CPU comparator).
+pub fn gpu_methods() -> Vec<Box<dyn SpgemmMethod>> {
+    all_methods()
+        .into_iter()
+        .filter(|m| m.name() != "mkl")
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speck_sparse::gen::uniform_random;
+    use speck_sparse::reference::spgemm_seq;
+
+    #[test]
+    fn registry_matches_paper_lineup() {
+        let names: Vec<&str> = all_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["cusparse", "ac", "nsparse", "rmerge", "bhsparse", "speck", "kokkos", "mkl"]
+        );
+        assert_eq!(gpu_methods().len(), 7);
+    }
+
+    #[test]
+    fn every_method_is_numerically_correct_on_a_smoke_input() {
+        let a = uniform_random(200, 200, 1, 6, 42);
+        let expect = spgemm_seq(&a, &a);
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        for m in all_methods() {
+            let r = m.multiply(&dev, &cost, &a, &a);
+            assert!(r.ok(), "{} failed: {:?}", m.name(), r.failed);
+            let mut c = r.c.unwrap();
+            if !r.sorted_output {
+                c.sort_rows();
+            }
+            assert!(
+                c.approx_eq(&expect, 1e-10, 1e-12),
+                "{} produced a wrong result",
+                m.name()
+            );
+            assert!(r.sim_time_s > 0.0 && r.sim_time_s.is_finite());
+            assert!(r.peak_mem_bytes > 0, "{} reported no memory", m.name());
+        }
+    }
+}

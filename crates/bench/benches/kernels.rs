@@ -1,0 +1,110 @@
+//! Criterion micro-benches of the building blocks: hash accumulator,
+//! dense chunk, block merging, row analysis, transpose and the sequential
+//! reference. Guards the host-side performance of the substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use speck_core::analysis::analyze;
+use speck_core::block_merge::block_merge;
+use speck_core::denseacc::DenseChunk;
+use speck_core::hashacc::{compound_key, Accumulator};
+use speck_core::local_lb::select_group_size;
+use speck_core::LocalLbMode;
+use speck_core::{multiply_partitioned, SpeckConfig};
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::gen::{banded, uniform_random};
+use speck_sparse::reference::spgemm_seq;
+use speck_sparse::transpose::transpose;
+
+fn bench_accumulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_accumulator");
+    let n = 16_384usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("insert_16k", |b| {
+        b.iter(|| {
+            let mut acc: Accumulator<f64> = Accumulator::new(24_576);
+            for i in 0..n {
+                acc.insert(compound_key((i % 32) as u32, (i * 7 % 4096) as u32), 1.0);
+            }
+            acc.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dense_chunk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_chunk");
+    let n = 16_384usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("add_extract_16k", |b| {
+        b.iter(|| {
+            let mut chunk: DenseChunk<f64> = DenseChunk::numeric(0, 8_192);
+            for i in 0..n {
+                chunk.add((i * 5 % 8_192) as u32, 1.0);
+            }
+            chunk.extract_sorted().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_merge(c: &mut Criterion) {
+    let demands: Vec<u64> = (0..100_000u64).map(|i| (i * 37) % 900 + 10).collect();
+    let mut group = c.benchmark_group("block_merge");
+    group.throughput(Throughput::Elements(demands.len() as u64));
+    group.bench_function("merge_100k_rows", |b| {
+        b.iter(|| block_merge(&demands, 3_072, true).0.len())
+    });
+    group.finish();
+}
+
+fn bench_local_lb(c: &mut Criterion) {
+    c.bench_function("local_lb/select_group_size", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 1..1000u64 {
+                acc += select_group_size(LocalLbMode::Dynamic, 256, i, i * 7, i % 40 + 1);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_analysis_and_reference(c: &mut Criterion) {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let a = banded(20_000, 4, 1.0, 5);
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("row_analysis_180k_nnz", |b| {
+        b.iter(|| analyze(&dev, &cost, &a, &a).0.total_products)
+    });
+    let u = uniform_random(3_000, 3_000, 4, 10, 6);
+    group.bench_function("reference_spgemm", |b| b.iter(|| spgemm_seq(&u, &u).nnz()));
+    group.bench_function("transpose", |b| b.iter(|| transpose(&u).nnz()));
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let cfg = SpeckConfig::default();
+    let a = uniform_random(1_000, 1_000, 3, 8, 7);
+    let mut group = c.benchmark_group("partitioned_multiply");
+    group.sample_size(10);
+    group.bench_function("four_bands", |b| {
+        let budget = a.size_bytes() * 2;
+        b.iter(|| multiply_partitioned(&dev, &cost, &cfg, &a, &a, budget).1.bands)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_accumulator,
+    bench_dense_chunk,
+    bench_block_merge,
+    bench_local_lb,
+    bench_analysis_and_reference,
+    bench_partitioned
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion wall-clock benches of every SpGEMM method on three
+//! representative matrices (one per regime: uniform mesh, skewed graph,
+//! dense blocks). These measure *host* execution time of the simulator —
+//! useful for keeping the reproduction itself fast; the paper-shape
+//! numbers come from the simulated times in `src/bin/exp_*`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speck_baselines::all_methods;
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::gen::{banded, block_diagonal, rmat};
+use speck_sparse::Csr;
+
+fn matrices() -> Vec<(&'static str, Csr<f64>)> {
+    vec![
+        ("mesh", banded(4_000, 3, 1.0, 1)),
+        ("graph", rmat(9, 8, 0.57, 0.19, 0.19, 2)),
+        ("blocks", block_diagonal(4, 64, 1.0, 3)),
+    ]
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let mats = matrices();
+    let mut group = c.benchmark_group("spgemm_methods");
+    group.sample_size(10);
+    for (name, a) in &mats {
+        for method in all_methods() {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), name),
+                a,
+                |bench, a| bench.iter(|| method.multiply(&dev, &cost, a, a)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Extra ablations beyond the paper (DESIGN.md §6): block merging and
+//! cost-model sensitivity.
+
+use speck_bench::experiments::{ablations, emit};
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    emit(
+        "Ablation: block merging (Alg. 2)",
+        "ablation_block_merge.txt",
+        ablations::block_merge_ablation(&dev, &cost),
+    );
+    emit(
+        "Ablation: cost-model sensitivity",
+        "ablation_cost_model.txt",
+        ablations::cost_model_sensitivity(&dev),
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 10: peak memory on the common matrices.
+
+use speck_bench::corpus::common_corpus;
+use speck_bench::experiments::{emit, fig10_memory};
+use speck_bench::out::write_out;
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &common_corpus(), true);
+    let (table, csv) = fig10_memory::run(&records);
+    emit("Fig. 10: peak memory on common matrices", "fig10.txt", table);
+    write_out("fig10.csv", &csv);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 11: stage shares of spECK.
+
+use speck_bench::experiments::{emit, fig11_stages};
+use speck_bench::out::write_out;
+
+fn main() {
+    let (table, csv) = fig11_stages::run();
+    emit("Fig. 11: spECK stage shares", "fig11.txt", table);
+    write_out("fig11.csv", &csv);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 12: accumulator ablation (hash / +dense / +direct).
+
+use speck_bench::experiments::{emit, fig12_accumulators};
+use speck_bench::out::write_out;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let (table, csv) = fig12_accumulators::run(&dev, &cost);
+    emit("Fig. 12: accumulator ablation", "fig12.txt", table);
+    write_out("fig12.csv", &csv);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 13: dynamic vs fixed-32 local load balancing.
+
+use speck_bench::experiments::{emit, fig13_local_lb};
+use speck_bench::out::write_out;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let (table, csv) = fig13_local_lb::run(&dev, &cost);
+    emit("Fig. 13: local load balancing", "fig13.txt", table);
+    write_out("fig13.csv", &csv);
+}

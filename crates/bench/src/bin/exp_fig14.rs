@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 14: global load balancer always-on/off/auto.
+
+use speck_bench::experiments::{emit, fig14_global_lb};
+use speck_bench::out::write_out;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let (table, csv) = fig14_global_lb::run(&dev, &cost);
+    emit("Fig. 14: global load balancing decision", "fig14.txt", table);
+    write_out("fig14.csv", &csv);
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 15 (appendix): per-matrix GFLOPS over the full
+//! corpus, as CSV.
+
+use speck_bench::corpus::full_corpus;
+use speck_bench::out::{render_csv, write_out};
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &full_corpus(), true);
+    let methods: Vec<String> = records[0].runs.iter().map(|m| m.method.clone()).collect();
+    let mut rows = Vec::new();
+    let mut header = vec!["matrix".to_string(), "family".into(), "products".into()];
+    header.extend(methods.iter().cloned());
+    rows.push(header);
+    for r in &records {
+        let mut row = vec![r.name.clone(), r.family.clone(), r.products.to_string()];
+        for m in &methods {
+            row.push(format!("{:.4}", r.gflops(m)));
+        }
+        rows.push(row);
+    }
+    write_out("fig15.csv", &render_csv(&rows));
+    println!("Fig. 15 written: {} matrices x {} methods", records.len(), methods.len());
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 6: GFLOPS trend over product counts.
+
+use speck_bench::corpus::full_corpus;
+use speck_bench::experiments::{emit, fig6_trend};
+use speck_bench::out::write_out;
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &full_corpus(), true);
+    let (table, csv) = fig6_trend::run(&records);
+    emit("Fig. 6: GFLOPS over products", "fig6.txt", table);
+    write_out("fig6.csv", &csv);
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 7: slowdown-to-fastest distribution.
+
+use speck_bench::corpus::full_corpus;
+use speck_bench::experiments::{emit, fig7_slowdown};
+use speck_bench::out::write_out;
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &full_corpus(), true);
+    let (table, csv) = fig7_slowdown::run(&records);
+    emit("Fig. 7: slowdown to fastest (>15k products)", "fig7.txt", table);
+    write_out("fig7.csv", &csv);
+}

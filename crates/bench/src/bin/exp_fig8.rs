@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 8: non-zero patterns of the common matrices.
+
+use speck_bench::experiments::{emit, fig8_patterns};
+
+fn main() {
+    emit("Fig. 8: non-zero patterns", "fig8.txt", fig8_patterns::run(48));
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 9: GFLOPS on the common matrices.
+
+use speck_bench::corpus::common_corpus;
+use speck_bench::experiments::{emit, fig9_common_gflops};
+use speck_bench::out::write_out;
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &common_corpus(), true);
+    let (table, csv) = fig9_common_gflops::run(&records);
+    emit("Fig. 9: GFLOPS on common matrices", "fig9.txt", table);
+    write_out("fig9.csv", &csv);
+}

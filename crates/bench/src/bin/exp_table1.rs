@@ -1,0 +1,14 @@
+//! Regenerates paper Table 1: method characteristics, quantified.
+
+use speck_bench::experiments::{emit, table1_characteristics};
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    emit(
+        "Table 1: method characteristics",
+        "table1.txt",
+        table1_characteristics::run(&dev, &cost),
+    );
+}

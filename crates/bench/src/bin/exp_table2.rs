@@ -1,0 +1,19 @@
+//! Regenerates paper Table 2: auto-tuned global-LB thresholds.
+
+use speck_bench::corpus::full_corpus;
+use speck_bench::experiments::{emit, table2_tuning};
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    // Tuning corpus: every third matrix (the paper tunes on one third).
+    let specs: Vec<_> = full_corpus()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, s)| s)
+        .collect();
+    let (body, _) = table2_tuning::run(&dev, &cost, &specs);
+    emit("Table 2: auto-tuned thresholds", "table2.txt", body);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Table 3: overall performance statistics.
+
+use speck_bench::corpus::full_corpus;
+use speck_bench::experiments::{emit, table3_overall};
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let records = run_corpus(&dev, &cost, &full_corpus(), true);
+    emit("Table 3: overall statistics", "table3.txt", table3_overall::run(&records));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Table 4: statistics of the common matrices.
+
+use speck_bench::experiments::{emit, table4_common_stats};
+
+fn main() {
+    emit("Table 4: common matrices", "table4.txt", table4_common_stats::run());
+}

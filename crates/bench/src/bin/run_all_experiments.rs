@@ -1,0 +1,104 @@
+//! Runs the complete experiment suite — every table and figure of the
+//! paper — sharing one corpus sweep across the experiments that need it,
+//! and writes all outputs under `crates/bench/out/`.
+//!
+//! ```sh
+//! cargo run --release -p speck-bench --bin run_all_experiments
+//! ```
+
+use speck_bench::corpus::{common_corpus, full_corpus};
+use speck_bench::experiments::*;
+use speck_bench::out::{render_csv, write_out};
+use speck_bench::runner::run_corpus;
+use speck_simt::{CostModel, DeviceConfig};
+
+fn main() {
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    let t0 = std::time::Instant::now();
+
+    // Static experiments (no method runs needed).
+    emit("Fig. 8: non-zero patterns", "fig8.txt", fig8_patterns::run(48));
+    emit("Table 4: common matrices", "table4.txt", table4_common_stats::run());
+    emit(
+        "Table 1: method characteristics",
+        "table1.txt",
+        table1_characteristics::run(&dev, &cost),
+    );
+
+    // The full-corpus sweep feeds Table 3, Fig. 6, Fig. 7 and Fig. 15.
+    eprintln!("[corpus sweep: all methods x full corpus]");
+    let records = run_corpus(&dev, &cost, &full_corpus(), true);
+    emit("Table 3: overall statistics", "table3.txt", table3_overall::run(&records));
+    let (t, csv) = fig6_trend::run(&records);
+    emit("Fig. 6: GFLOPS over products", "fig6.txt", t);
+    write_out("fig6.csv", &csv);
+    let (t, csv) = fig7_slowdown::run(&records);
+    emit("Fig. 7: slowdown to fastest", "fig7.txt", t);
+    write_out("fig7.csv", &csv);
+    {
+        let methods: Vec<String> = records[0].runs.iter().map(|m| m.method.clone()).collect();
+        let mut rows = Vec::new();
+        let mut header = vec!["matrix".to_string(), "family".into(), "products".into()];
+        header.extend(methods.iter().cloned());
+        rows.push(header);
+        for r in &records {
+            let mut row = vec![r.name.clone(), r.family.clone(), r.products.to_string()];
+            for m in &methods {
+                row.push(format!("{:.4}", r.gflops(m)));
+            }
+            rows.push(row);
+        }
+        write_out("fig15.csv", &render_csv(&rows));
+    }
+
+    // Common-matrix experiments (Figs. 9-11).
+    eprintln!("[common matrices]");
+    let common = run_corpus(&dev, &cost, &common_corpus(), true);
+    let (t, csv) = fig9_common_gflops::run(&common);
+    emit("Fig. 9: GFLOPS on common matrices", "fig9.txt", t);
+    write_out("fig9.csv", &csv);
+    let (t, csv) = fig10_memory::run(&common);
+    emit("Fig. 10: peak memory", "fig10.txt", t);
+    write_out("fig10.csv", &csv);
+    let (t, csv) = fig11_stages::run();
+    emit("Fig. 11: stage shares", "fig11.txt", t);
+    write_out("fig11.csv", &csv);
+
+    // Ablation sweeps (Figs. 12-14).
+    eprintln!("[ablation sweeps]");
+    let (t, csv) = fig12_accumulators::run(&dev, &cost);
+    emit("Fig. 12: accumulator ablation", "fig12.txt", t);
+    write_out("fig12.csv", &csv);
+    let (t, csv) = fig13_local_lb::run(&dev, &cost);
+    emit("Fig. 13: local load balancing", "fig13.txt", t);
+    write_out("fig13.csv", &csv);
+    let (t, csv) = fig14_global_lb::run(&dev, &cost);
+    emit("Fig. 14: global load balancing", "fig14.txt", t);
+    write_out("fig14.csv", &csv);
+
+    // Auto-tuning (Table 2): tune on one third of the corpus.
+    eprintln!("[auto-tuning]");
+    let tuning_specs: Vec<_> = full_corpus()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, s)| s)
+        .collect();
+    let (t, _) = table2_tuning::run(&dev, &cost, &tuning_specs);
+    emit("Table 2: auto-tuned thresholds", "table2.txt", t);
+
+    // Extra ablations.
+    emit(
+        "Ablation: block merging",
+        "ablation_block_merge.txt",
+        ablations::block_merge_ablation(&dev, &cost),
+    );
+    emit(
+        "Ablation: cost-model sensitivity",
+        "ablation_cost_model.txt",
+        ablations::cost_model_sensitivity(&dev),
+    );
+
+    eprintln!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,292 @@
+//! The benchmark corpus: a SuiteSparse stand-in spanning the structural
+//! families and three decades of problem size (≈1e3 … ≈1e7 products).
+//!
+//! Matrices are described by [`CorpusSpec`]s and built lazily so the whole
+//! corpus never resides in memory at once.
+
+use speck_sparse::gen::{
+    banded, block_diagonal, common_matrices, poisson_2d, poisson_3d, rectangular_lp, rmat,
+    uniform_random,
+};
+use speck_sparse::transpose::transpose;
+use speck_sparse::Csr;
+
+/// A lazily-built benchmark multiplication.
+pub struct CorpusSpec {
+    /// Unique name.
+    pub name: String,
+    /// Structural family label.
+    pub family: &'static str,
+    build: Box<dyn Fn() -> (Csr<f64>, Csr<f64>) + Send + Sync>,
+}
+
+impl CorpusSpec {
+    fn square(
+        name: String,
+        family: &'static str,
+        f: impl Fn() -> Csr<f64> + Send + Sync + 'static,
+    ) -> Self {
+        CorpusSpec {
+            name,
+            family,
+            build: Box::new(move || {
+                let a = f();
+                (a.clone(), a)
+            }),
+        }
+    }
+
+    /// Builds the `(A, B)` pair.
+    pub fn build(&self) -> (Csr<f64>, Csr<f64>) {
+        (self.build)()
+    }
+}
+
+/// The full corpus (~130 multiplications).
+pub fn full_corpus() -> Vec<CorpusSpec> {
+    let mut specs: Vec<CorpusSpec> = Vec::new();
+    let mut seed = 1000u64;
+    let mut next = || {
+        seed += 1;
+        seed
+    };
+
+    // Banded / mesh-trace family: uniform short rows, strong locality.
+    // Sizes reach ~20M products so kernel bodies dominate launch overheads
+    // on the large end, like the paper's full-size SuiteSparse matrices.
+    for &(n, hb, fill) in &[
+        (300usize, 1usize, 1.0f64),
+        (2_000, 1, 1.0),
+        (16_000, 1, 1.0),
+        (80_000, 1, 1.0),
+        (300_000, 1, 1.0),
+        (1_000, 2, 1.0),
+        (8_000, 2, 0.8),
+        (40_000, 2, 1.0),
+        (160_000, 2, 0.7),
+        (4_000, 4, 1.0),
+        (30_000, 4, 0.9),
+        (100_000, 4, 1.0),
+        (8_000, 8, 1.0),
+        (40_000, 8, 0.85),
+        (90_000, 8, 0.6),
+        (15_000, 16, 0.9),
+        (40_000, 16, 0.75),
+        (8_000, 32, 0.9),
+        (20_000, 32, 0.7),
+    ] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("banded_n{n}_b{hb}"),
+            "banded",
+            move || banded(n, hb, fill, s),
+        ));
+    }
+
+    // Stencil family.
+    for &(nx, ny) in &[(20usize, 20usize), (90, 90), (250, 250), (600, 600)] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("poisson2d_{nx}x{ny}"),
+            "stencil",
+            move || poisson_2d(nx, ny, 0.01, s),
+        ));
+    }
+    for &(nx, ny, nz) in &[(8usize, 8usize, 8usize), (20, 20, 20), (40, 40, 40), (64, 64, 32)] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("poisson3d_{nx}x{ny}x{nz}"),
+            "stencil",
+            move || poisson_3d(nx, ny, nz, 0.01, s),
+        ));
+    }
+
+    // Uniform random family: no locality.
+    for &(n, lo, hi) in &[
+        (200usize, 1usize, 4usize),
+        (2_000, 1, 4),
+        (16_000, 1, 4),
+        (100_000, 1, 4),
+        (500, 2, 8),
+        (6_000, 2, 8),
+        (30_000, 2, 8),
+        (120_000, 2, 8),
+        (4_000, 8, 16),
+        (16_000, 8, 16),
+        (60_000, 8, 16),
+        (3_000, 16, 48),
+        (12_000, 16, 48),
+        (6_000, 48, 96),
+    ] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("uniform_n{n}_{lo}to{hi}"),
+            "uniform",
+            move || uniform_random(n, n, lo, hi, s),
+        ));
+    }
+
+    // Power-law graph family: heavy degree skew.
+    for &(scale, ef) in &[
+        (7u32, 4usize),
+        (9, 4),
+        (11, 4),
+        (13, 4),
+        (14, 4),
+        (15, 4),
+        (9, 8),
+        (11, 8),
+        (12, 8),
+        (13, 8),
+        (14, 8),
+        (10, 16),
+        (12, 16),
+        (13, 16),
+        (16, 4),
+    ] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("rmat_s{scale}_e{ef}"),
+            "powerlaw",
+            move || rmat(scale, ef, 0.57, 0.19, 0.19, s),
+        ));
+    }
+
+    // Block-diagonal family: dense output rows, huge compaction.
+    for &(blocks, size, fill) in &[
+        (64usize, 8usize, 1.0f64),
+        (512, 16, 1.0),
+        (256, 32, 0.9),
+        (128, 64, 1.0),
+        (64, 96, 0.8),
+        (32, 128, 1.0),
+        (16, 192, 0.9),
+        (8, 256, 1.0),
+    ] {
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("blockdiag_{blocks}x{size}"),
+            "blockdiag",
+            move || block_diagonal(blocks, size, fill, s),
+        ));
+    }
+
+    // Rectangular LP family (A·Aᵀ).
+    for &(rows, cols, lo, hi) in &[
+        (200usize, 4_000usize, 20usize, 40usize),
+        (3_000, 60_000, 40, 80),
+        (6_000, 160_000, 80, 120),
+        (1_500, 40_000, 10, 20),
+    ] {
+        let s = next();
+        specs.push(CorpusSpec {
+            name: format!("lp_{rows}x{cols}"),
+            family: "rectangular",
+            build: Box::new(move || {
+                let a = rectangular_lp(rows, cols, lo, hi, s);
+                let at = transpose(&a);
+                (a, at)
+            }),
+        });
+    }
+
+    // Tiny matrices: the CPU-wins region (<15k products).
+    for &n in &[50usize, 100, 200, 400] {
+        specs.push(CorpusSpec::square(
+            format!("identity_{n}"),
+            "tiny",
+            move || Csr::identity(n),
+        ));
+        let s = next();
+        specs.push(CorpusSpec::square(
+            format!("tiny_banded_{n}"),
+            "tiny",
+            move || banded(n, 1, 1.0, s),
+        ));
+    }
+
+    // The 11 named Table-4 stand-ins.
+    specs.extend(common_corpus());
+
+    specs
+}
+
+/// Just the 11 named common matrices (paper Table 4 / Figs. 8–11).
+pub fn common_corpus() -> Vec<CorpusSpec> {
+    common_matrices()
+        .into_iter()
+        .map(|cm| {
+            let name = cm.name.to_string();
+            CorpusSpec {
+                name,
+                family: "common",
+                build: Box::new(move || cm.pair()),
+            }
+        })
+        .collect()
+}
+
+/// A fast subset for smoke tests and CI (~15 multiplications).
+pub fn smoke_corpus() -> Vec<CorpusSpec> {
+    full_corpus()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, s)| i % 9 == 0 || s.family == "tiny")
+        .map(|(_, s)| s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_unique_names_and_all_families() {
+        let specs = full_corpus();
+        assert!(specs.len() >= 70, "corpus too small: {}", specs.len());
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate corpus names");
+        for family in [
+            "banded",
+            "stencil",
+            "uniform",
+            "powerlaw",
+            "blockdiag",
+            "rectangular",
+            "tiny",
+            "common",
+        ] {
+            assert!(
+                specs.iter().any(|s| s.family == family),
+                "family {family} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_build_valid_compatible_pairs() {
+        for spec in smoke_corpus() {
+            let (a, b) = spec.build();
+            a.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            b.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(a.cols(), b.rows(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn corpus_spans_three_decades_of_products() {
+        let mut min_p = u64::MAX;
+        let mut max_p = 0u64;
+        for spec in smoke_corpus() {
+            let (a, b) = spec.build();
+            let p = a.products(&b);
+            min_p = min_p.min(p.max(1));
+            max_p = max_p.max(p);
+        }
+        assert!(min_p < 15_000, "no CPU-region matrices (min {min_p})");
+        assert!(max_p > 1_000_000, "no large matrices (max {max_p})");
+    }
+}

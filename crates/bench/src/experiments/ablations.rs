@@ -1,0 +1,110 @@
+//! Ablations beyond the paper's figures (DESIGN.md §6):
+//!
+//! 1. **Block merging** for the smallest bin on/off — isolates Alg. 2.
+//! 2. **Cost-model sensitivity** — re-runs the common-matrix comparison
+//!    under perturbed cost constants (compute 2x, memory 2x) and checks
+//!    whether spECK's win rate survives; guards the headline conclusions
+//!    against a knife-edge calibration.
+
+use crate::out::render_table;
+use speck_baselines::speck_method::SpeckMethod;
+use speck_baselines::{all_methods, SpgemmMethod};
+use speck_core::SpeckConfig;
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::gen::{common_matrices, uniform_random};
+
+/// Block-merge on/off over short-row matrices (where merging matters).
+pub fn block_merge_ablation(dev: &DeviceConfig, cost: &CostModel) -> String {
+    let on = SpeckMethod::default();
+    let off = SpeckMethod::with_config(SpeckConfig {
+        block_merge: false,
+        ..SpeckConfig::default()
+    });
+    let mut rows = vec![vec![
+        "matrix".to_string(),
+        "merge on [ms]".into(),
+        "merge off [ms]".into(),
+        "off/on".into(),
+    ]];
+    for (i, &(n, lo, hi)) in [(20_000usize, 1usize, 3usize), (40_000, 1, 2), (60_000, 2, 4)]
+        .iter()
+        .enumerate()
+    {
+        let a = uniform_random(n, n, lo, hi, 800 + i as u64);
+        let t_on = on.multiply(dev, cost, &a, &a).sim_time_s;
+        let t_off = off.multiply(dev, cost, &a, &a).sim_time_s;
+        rows.push(vec![
+            format!("uniform_n{n}_{lo}to{hi}"),
+            format!("{:.3}", t_on * 1e3),
+            format!("{:.3}", t_off * 1e3),
+            format!("{:.2}", t_off / t_on),
+        ]);
+    }
+    render_table(&rows)
+}
+
+/// Win rate of spECK over the common matrices under a given cost model.
+fn win_rate(dev: &DeviceConfig, cost: &CostModel) -> (usize, usize) {
+    let methods = all_methods();
+    let mut wins = 0;
+    let mut total = 0;
+    for cm in common_matrices() {
+        let (a, b) = cm.pair();
+        let mut best = ("", f64::INFINITY);
+        for m in &methods {
+            if m.name() == "mkl" {
+                continue;
+            }
+            let r = m.multiply(dev, cost, &a, &b);
+            if r.ok() && r.sim_time_s < best.1 {
+                best = (m.name(), r.sim_time_s);
+            }
+        }
+        if best.0 == "speck" {
+            wins += 1;
+        }
+        total += 1;
+    }
+    (wins, total)
+}
+
+/// Cost-model sensitivity sweep.
+pub fn cost_model_sensitivity(dev: &DeviceConfig) -> String {
+    let base = CostModel::default();
+    let variants: [(&str, CostModel); 4] = [
+        ("baseline", base.clone()),
+        ("compute x2", base.scaled(2.0, 1.0)),
+        ("memory x2", base.scaled(1.0, 2.0)),
+        ("compute x0.5", base.scaled(0.5, 1.0)),
+    ];
+    let mut rows = vec![vec![
+        "cost model".to_string(),
+        "speck wins".into(),
+        "of".into(),
+    ]];
+    for (name, cm) in &variants {
+        let (wins, total) = win_rate(dev, cm);
+        rows.push(vec![name.to_string(), wins.to_string(), total.to_string()]);
+    }
+    let mut body = render_table(&rows);
+    body.push_str("\nGPU methods only, over the 11 common stand-ins\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_merge_never_hurts_short_row_matrices() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let body = block_merge_ablation(&dev, &cost);
+        // Parse the off/on column; merging should be >= 1.0 (off is not
+        // faster) for every row.
+        for line in body.lines().skip(2) {
+            let ratio: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(ratio >= 0.95, "merge-off unexpectedly faster: {line}");
+        }
+    }
+}

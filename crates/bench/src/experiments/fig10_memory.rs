@@ -1,0 +1,59 @@
+//! Paper Fig. 10: peak memory consumption during computation of the
+//! common matrices.
+
+use crate::out::{render_csv, render_table};
+use crate::runner::MatrixRecord;
+
+/// Renders peak MiB per (matrix, method) from common-corpus records.
+pub fn run(records: &[MatrixRecord]) -> (String, String) {
+    let methods: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|m| m.method.clone()).collect())
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    let mut header = vec!["matrix".to_string()];
+    header.extend(methods.iter().cloned());
+    rows.push(header);
+    for r in records {
+        let mut row = vec![r.name.clone()];
+        for m in &methods {
+            row.push(match r.run(m) {
+                Some(x) if x.ok => format!("{:.1}", x.mem_bytes as f64 / (1 << 20) as f64),
+                _ => "-".into(),
+            });
+        }
+        rows.push(row);
+    }
+    let mut table = render_table(&rows);
+    table.push_str("\nvalues in MiB; '-' = failed; mkl runs on the host (not comparable)\n");
+    (table, render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MethodRun;
+
+    #[test]
+    fn memory_rendered_in_mib() {
+        let rec = MatrixRecord {
+            name: "m".into(),
+            family: "common".into(),
+            rows: 1,
+            nnz_a: 1,
+            products: 1000,
+            nnz_c: 1,
+            max_row_c: 1,
+            avg_row_c: 1.0,
+            runs: vec![MethodRun {
+                method: "x".into(),
+                time_s: 1.0,
+                mem_bytes: 2 << 20,
+                ok: true,
+                sorted: true,
+            }],
+        };
+        let (table, _) = run(&[rec]);
+        assert!(table.contains("2.0"));
+    }
+}

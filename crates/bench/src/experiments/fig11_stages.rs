@@ -1,0 +1,81 @@
+//! Paper Fig. 11: share of duration for all stages of spECK on the common
+//! matrices (analysis, symbolic load balancing, symbolic SpGEMM, numeric
+//! load balancing, numeric SpGEMM, sorting).
+
+use crate::out::{render_csv, render_table};
+use speck_core::pipeline::stage;
+use speck_core::SpeckSpgemm;
+use speck_sparse::gen::common_matrices;
+
+/// The six stage names in paper order.
+pub const STAGES: [&str; 6] = [
+    stage::ANALYSIS,
+    stage::SYMBOLIC_LOAD,
+    stage::SYMBOLIC,
+    stage::NUMERIC_LOAD,
+    stage::NUMERIC,
+    stage::SORTING,
+];
+
+/// Runs spECK on the 11 stand-ins and renders the stage shares.
+pub fn run() -> (String, String) {
+    let engine = SpeckSpgemm::default();
+    let mut rows = Vec::new();
+    let mut header = vec!["matrix".to_string()];
+    header.extend(STAGES.iter().map(|s| s.to_string()));
+    rows.push(header);
+    for cm in common_matrices() {
+        let (a, b) = cm.pair();
+        let (_, report) = engine.multiply(&a, &b);
+        let mut row = vec![cm.name.to_string()];
+        for s in STAGES {
+            row.push(format!("{:.3}", report.timeline.share(s)));
+        }
+        rows.push(row);
+    }
+    (render_table(&rows), render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_rendered_for_all_matrices_and_sum_to_one() {
+        let (_, csv) = run();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 12);
+        for line in &lines[1..] {
+            let sum: f64 = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse::<f64>().unwrap())
+                .sum();
+            assert!((sum - 1.0).abs() < 0.01, "{line}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn numeric_spgemm_dominates_on_most_matrices() {
+        // Paper Fig. 11: the numeric kernel is the majority of the time.
+        let (_, csv) = run();
+        let mut dominant = 0;
+        let mut total = 0;
+        for line in csv.lines().skip(1) {
+            let vals: Vec<f64> = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse::<f64>().unwrap())
+                .collect();
+            let numeric = vals[4] + vals[5]; // num. SpGEMM + sorting
+            if numeric > 0.4 {
+                dominant += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            dominant * 2 >= total,
+            "numeric+sorting dominant on only {dominant}/{total}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Paper Fig. 12: hash-only vs. hash+dense vs. hash+dense+direct,
+//! over matrices ordered by the longest output row of C. The paper
+//! reports >60 % improvement from the dense accumulator in its regime and
+//! up to 40x for rows exceeding the largest scratchpad hash map.
+
+use crate::out::{render_csv, render_table};
+use speck_baselines::speck_method::SpeckMethod;
+use speck_baselines::SpgemmMethod;
+use speck_core::SpeckConfig;
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::gen::with_hub_rows;
+use speck_sparse::reference::spgemm_seq;
+use speck_sparse::Csr;
+
+/// One sweep point.
+pub struct Point {
+    /// Longest output row of C.
+    pub max_row_c: usize,
+    /// Slowdown vs the fastest of the three configs: (hash, +dense, +direct).
+    pub slowdowns: [f64; 3],
+}
+
+/// Builds the sweep matrices: banded base with hub rows of growing reach,
+/// plus single-entry rows so the direct path has something to win.
+fn sweep_matrices() -> Vec<Csr<f64>> {
+    // refs controls the longest output row (~3x refs).
+    [100usize, 250, 400, 800, 1200, 2000, 3500, 6000, 9000]
+        .iter()
+        .enumerate()
+        .map(|(i, &refs)| {
+            let n = (refs * 4).max(4000);
+            with_hub_rows(n, 1, 8, refs, 400 + i as u64)
+        })
+        .collect()
+}
+
+/// Runs the sweep.
+pub fn sweep(dev: &DeviceConfig, cost: &CostModel) -> Vec<Point> {
+    let configs = [
+        SpeckConfig::hash_only(),
+        SpeckConfig::hash_dense(),
+        SpeckConfig::default(),
+    ];
+    sweep_matrices()
+        .into_iter()
+        .map(|a| {
+            let c = spgemm_seq(&a, &a);
+            let times: Vec<f64> = configs
+                .iter()
+                .map(|cfg| {
+                    SpeckMethod::with_config(cfg.clone())
+                        .multiply(dev, cost, &a, &a)
+                        .sim_time_s
+                })
+                .collect();
+            let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            Point {
+                max_row_c: c.max_row_nnz(),
+                slowdowns: [times[0] / best, times[1] / best, times[2] / best],
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 12 series.
+pub fn run(dev: &DeviceConfig, cost: &CostModel) -> (String, String) {
+    let points = sweep(dev, cost);
+    let mut rows = vec![vec![
+        "max nnz/row of C".to_string(),
+        "hash".into(),
+        "hash+dense".into(),
+        "hash+dense+direct".into(),
+    ]];
+    for p in &points {
+        rows.push(vec![
+            p.max_row_c.to_string(),
+            format!("{:.3}", p.slowdowns[0]),
+            format!("{:.3}", p.slowdowns[1]),
+            format!("{:.3}", p.slowdowns[2]),
+        ]);
+    }
+    let mut table = render_table(&rows);
+    table.push_str("\nvalues are slowdown vs the fastest of the three configurations\n");
+    (table, render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_direct_help_for_long_rows() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let points = sweep(&dev, &cost);
+        assert!(points.len() >= 5);
+        // For the longest rows, hash-only must be clearly slower than the
+        // full configuration (the Fig. 12 divergence).
+        let last = points.last().unwrap();
+        assert!(
+            last.slowdowns[0] > 1.2 * last.slowdowns[2],
+            "hash {} vs full {}",
+            last.slowdowns[0],
+            last.slowdowns[2]
+        );
+        // The full configuration is never much worse than the best.
+        for p in &points {
+            assert!(p.slowdowns[2] < 1.5, "full config slowdown {}", p.slowdowns[2]);
+        }
+    }
+}

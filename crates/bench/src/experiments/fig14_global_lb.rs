@@ -1,0 +1,126 @@
+//! Paper Fig. 14: permanently enabled/disabled global load balancer versus
+//! spECK's automatic decision, over matrices swept by product count.
+//! The paper shows "always on" costing ~2x on small matrices and "always
+//! off" losing badly on large irregular ones, with the automatic decision
+//! within 2 % of the per-matrix best.
+
+use crate::out::{render_csv, render_table};
+use speck_baselines::speck_method::SpeckMethod;
+use speck_baselines::SpgemmMethod;
+use speck_core::{GlobalLbMode, SpeckConfig};
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::gen::{banded, rmat};
+use speck_sparse::Csr;
+
+/// One sweep point.
+pub struct Point {
+    /// Matrix label.
+    pub name: String,
+    /// Product count.
+    pub products: u64,
+    /// Slowdowns vs best of the three: (always off, always on, automatic).
+    pub slowdowns: [f64; 3],
+}
+
+fn sweep_matrices() -> Vec<(String, Csr<f64>)> {
+    let mut v: Vec<(String, Csr<f64>)> = Vec::new();
+    // Uniform small-to-large (binning is overhead here).
+    for &n in &[200usize, 1_000, 5_000, 20_000, 60_000] {
+        v.push((format!("banded_{n}"), banded(n, 2, 1.0, 600 + n as u64)));
+    }
+    // Skewed small-to-large (binning pays off at scale).
+    for &s in &[7u32, 9, 11, 13] {
+        v.push((format!("rmat_{s}"), rmat(s, 8, 0.57, 0.19, 0.19, 700 + s as u64)));
+    }
+    v
+}
+
+/// Runs the sweep.
+pub fn sweep(dev: &DeviceConfig, cost: &CostModel) -> Vec<Point> {
+    let methods: Vec<SpeckMethod> = [
+        GlobalLbMode::AlwaysOff,
+        GlobalLbMode::AlwaysOn,
+        GlobalLbMode::Auto,
+    ]
+    .iter()
+    .map(|&mode| {
+        SpeckMethod::with_config(SpeckConfig {
+            global_lb: mode,
+            ..SpeckConfig::default()
+        })
+    })
+    .collect();
+    let mut points: Vec<Point> = sweep_matrices()
+        .into_iter()
+        .map(|(name, a)| {
+            let times: Vec<f64> = methods
+                .iter()
+                .map(|m| m.multiply(dev, cost, &a, &a).sim_time_s)
+                .collect();
+            let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            Point {
+                name,
+                products: a.products(&a),
+                slowdowns: [times[0] / best, times[1] / best, times[2] / best],
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.products);
+    points
+}
+
+/// Renders the Fig. 14 series.
+pub fn run(dev: &DeviceConfig, cost: &CostModel) -> (String, String) {
+    let points = sweep(dev, cost);
+    let mut rows = vec![vec![
+        "matrix".to_string(),
+        "products".into(),
+        "always off".into(),
+        "always on".into(),
+        "automatic".into(),
+    ]];
+    let mut auto_sum = 0.0;
+    for p in &points {
+        rows.push(vec![
+            p.name.clone(),
+            p.products.to_string(),
+            format!("{:.3}", p.slowdowns[0]),
+            format!("{:.3}", p.slowdowns[1]),
+            format!("{:.3}", p.slowdowns[2]),
+        ]);
+        auto_sum += p.slowdowns[2];
+    }
+    let mut table = render_table(&rows);
+    table.push_str(&format!(
+        "\naverage automatic slowdown vs per-matrix best: {:.1}% (paper: <2%)\n",
+        100.0 * (auto_sum / points.len() as f64 - 1.0)
+    ));
+    (table, render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_tracks_the_best_choice() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let points = sweep(&dev, &cost);
+        // The automatic decision is near-best everywhere.
+        for p in &points {
+            assert!(
+                p.slowdowns[2] < 1.25,
+                "{}: automatic slowdown {}",
+                p.name,
+                p.slowdowns[2]
+            );
+        }
+        // Always-on must hurt at least one small uniform matrix.
+        assert!(
+            points.iter().any(|p| p.slowdowns[1] > 1.15),
+            "always-on never hurt: {:?}",
+            points.iter().map(|p| p.slowdowns[1]).collect::<Vec<_>>()
+        );
+    }
+}

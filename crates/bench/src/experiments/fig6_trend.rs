@@ -1,0 +1,148 @@
+//! Paper Fig. 6: GFLOPS achieved over all matrices, ordered by the number
+//! of products. We bucket matrices into half-decades of product count and
+//! report each method's geometric-mean GFLOPS per bucket; failures take
+//! the slowest valid timing of the matrix (the paper's convention).
+
+use crate::out::{render_csv, render_table};
+use crate::runner::MatrixRecord;
+
+/// Bucketed GFLOPS series per method.
+pub struct TrendSeries {
+    /// Bucket labels (lower product bound).
+    pub buckets: Vec<u64>,
+    /// Per-method geometric-mean GFLOPS per bucket.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Computes the trend series.
+pub fn trend(records: &[MatrixRecord]) -> TrendSeries {
+    let methods: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|m| m.method.clone()).collect())
+        .unwrap_or_default();
+    // Half-decade buckets from 1e3.
+    let bucket_of = |p: u64| -> usize {
+        let l = (p.max(1) as f64).log10();
+        ((l * 2.0).floor() as usize).saturating_sub(6) // 1e3 -> 0
+    };
+    let n_buckets = records.iter().map(|r| bucket_of(r.products) + 1).max().unwrap_or(0);
+    let mut buckets = Vec::with_capacity(n_buckets);
+    for i in 0..n_buckets {
+        buckets.push(10f64.powf((i as f64 + 6.0) / 2.0) as u64);
+    }
+    let series = methods
+        .iter()
+        .map(|m| {
+            let mut sums = vec![0f64; n_buckets];
+            let mut counts = vec![0usize; n_buckets];
+            for r in records {
+                let b = bucket_of(r.products);
+                // Failures are replaced by the slowest valid timing.
+                let slowest = r
+                    .runs
+                    .iter()
+                    .filter(|x| x.ok)
+                    .map(|x| x.time_s)
+                    .fold(0.0f64, f64::max);
+                let t = match r.run(m) {
+                    Some(x) if x.ok => x.time_s,
+                    _ => slowest,
+                };
+                if t > 0.0 && t.is_finite() {
+                    let g = (2 * r.products) as f64 / t / 1e9;
+                    sums[b] += g.max(1e-9).ln();
+                    counts[b] += 1;
+                }
+            }
+            let means = sums
+                .iter()
+                .zip(&counts)
+                .map(|(&s, &c)| if c == 0 { f64::NAN } else { (s / c as f64).exp() })
+                .collect();
+            (m.clone(), means)
+        })
+        .collect();
+    TrendSeries { buckets, series }
+}
+
+/// Renders Fig. 6 as a table plus CSV.
+pub fn run(records: &[MatrixRecord]) -> (String, String) {
+    let t = trend(records);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["products>=".to_string()];
+    header.extend(t.series.iter().map(|(m, _)| m.clone()));
+    rows.push(header);
+    for (i, &b) in t.buckets.iter().enumerate() {
+        let mut row = vec![format!("{b}")];
+        for (_, vals) in &t.series {
+            row.push(if vals[i].is_nan() {
+                "-".into()
+            } else {
+                format!("{:.3}", vals[i])
+            });
+        }
+        rows.push(row);
+    }
+    (render_table(&rows), render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MethodRun;
+
+    fn rec(products: u64, t_speck: f64, t_other: f64) -> MatrixRecord {
+        MatrixRecord {
+            name: "x".into(),
+            family: "f".into(),
+            rows: 1,
+            nnz_a: 1,
+            products,
+            nnz_c: 1,
+            max_row_c: 1,
+            avg_row_c: 1.0,
+            runs: vec![
+                MethodRun {
+                    method: "speck".into(),
+                    time_s: t_speck,
+                    mem_bytes: 1,
+                    ok: t_speck.is_finite(),
+                    sorted: true,
+                },
+                MethodRun {
+                    method: "other".into(),
+                    time_s: t_other,
+                    mem_bytes: 1,
+                    ok: t_other.is_finite(),
+                    sorted: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn buckets_are_half_decades() {
+        let recs = vec![rec(1_000, 1e-3, 2e-3), rec(1_000_000, 1e-3, 2e-3)];
+        let t = trend(&recs);
+        assert_eq!(t.buckets[0], 1_000);
+        assert!(t.buckets.len() >= 7); // 1e3 .. 1e6 in half decades
+    }
+
+    #[test]
+    fn failed_method_takes_slowest_valid_time() {
+        let recs = vec![rec(1_000, 1e-3, f64::INFINITY)];
+        let t = trend(&recs);
+        let speck = &t.series.iter().find(|(m, _)| m == "speck").unwrap().1;
+        let other = &t.series.iter().find(|(m, _)| m == "other").unwrap().1;
+        // Other failed -> substituted with speck's (slowest valid) time.
+        assert!((speck[0] - other[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_produces_table_and_csv() {
+        let recs = vec![rec(2_000, 1e-3, 2e-3)];
+        let (table, csv) = run(&recs);
+        assert!(table.contains("speck"));
+        assert!(csv.starts_with("products>=,speck,other"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Paper Fig. 7: slowdown to the fastest method per matrix, over all
+//! matrices with >15k products. We report each method's slowdown
+//! distribution (quantiles) plus the share of matrices beyond 5x — the
+//! numbers quoted in §6.1.
+
+use crate::out::{render_csv, render_table};
+use crate::runner::MatrixRecord;
+use crate::summary::PRODUCTS_CUTOFF;
+
+/// Per-method slowdown distribution.
+pub struct SlowdownDist {
+    /// Method name.
+    pub method: String,
+    /// Sorted slowdowns (failures excluded).
+    pub slowdowns: Vec<f64>,
+    /// Share of matrices slower than 5x (failures count as >5x, like the
+    /// paper's treatment of incomplete runs).
+    pub share_5x: f64,
+}
+
+/// Computes distributions over the >15k-products subset.
+pub fn distributions(records: &[MatrixRecord]) -> Vec<SlowdownDist> {
+    let subset: Vec<&MatrixRecord> = records
+        .iter()
+        .filter(|r| r.products > PRODUCTS_CUTOFF)
+        .collect();
+    let methods: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|m| m.method.clone()).collect())
+        .unwrap_or_default();
+    methods
+        .iter()
+        .map(|m| {
+            let mut sl = Vec::new();
+            let mut over5 = 0usize;
+            for r in &subset {
+                let best = r.best_time();
+                match r.run(m) {
+                    Some(x) if x.ok => {
+                        let s = x.time_s / best;
+                        if s > 5.0 {
+                            over5 += 1;
+                        }
+                        sl.push(s);
+                    }
+                    _ => {
+                        over5 += 1;
+                    }
+                }
+            }
+            sl.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            SlowdownDist {
+                method: m.clone(),
+                slowdowns: sl,
+                share_5x: if subset.is_empty() {
+                    0.0
+                } else {
+                    over5 as f64 / subset.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Renders Fig. 7 quantiles and the per-matrix CSV.
+pub fn run(records: &[MatrixRecord]) -> (String, String) {
+    let dists = distributions(records);
+    let mut rows = vec![vec![
+        "method".to_string(),
+        "p50".into(),
+        "p75".into(),
+        "p90".into(),
+        "max".into(),
+        "share>5x".into(),
+    ]];
+    for d in &dists {
+        rows.push(vec![
+            d.method.clone(),
+            format!("{:.2}", quantile(&d.slowdowns, 0.5)),
+            format!("{:.2}", quantile(&d.slowdowns, 0.75)),
+            format!("{:.2}", quantile(&d.slowdowns, 0.9)),
+            format!("{:.2}", quantile(&d.slowdowns, 1.0)),
+            format!("{:.1}%", 100.0 * d.share_5x),
+        ]);
+    }
+    let table = render_table(&rows);
+
+    // CSV: per-matrix slowdowns.
+    let mut csv_rows = Vec::new();
+    let mut header = vec!["matrix".to_string(), "products".into()];
+    header.extend(dists.iter().map(|d| d.method.clone()));
+    csv_rows.push(header);
+    for r in records.iter().filter(|r| r.products > PRODUCTS_CUTOFF) {
+        let best = r.best_time();
+        let mut row = vec![r.name.clone(), r.products.to_string()];
+        for d in &dists {
+            row.push(match r.run(&d.method) {
+                Some(x) if x.ok => format!("{:.3}", x.time_s / best),
+                _ => "inf".into(),
+            });
+        }
+        csv_rows.push(row);
+    }
+    (table, render_csv(&csv_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MethodRun;
+
+    fn rec(name: &str, times: &[(&str, f64)]) -> MatrixRecord {
+        MatrixRecord {
+            name: name.into(),
+            family: "f".into(),
+            rows: 1,
+            nnz_a: 1,
+            products: 100_000,
+            nnz_c: 1,
+            max_row_c: 1,
+            avg_row_c: 1.0,
+            runs: times
+                .iter()
+                .map(|&(m, t)| MethodRun {
+                    method: m.into(),
+                    time_s: t,
+                    mem_bytes: 1,
+                    ok: t.is_finite(),
+                    sorted: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn share_5x_counts_failures() {
+        let recs = vec![
+            rec("a", &[("x", 1.0), ("y", 10.0)]),
+            rec("b", &[("x", 1.0), ("y", f64::INFINITY)]),
+        ];
+        let d = distributions(&recs);
+        let y = d.iter().find(|d| d.method == "y").unwrap();
+        assert!((y.share_5x - 1.0).abs() < 1e-12);
+        let x = d.iter().find(|d| d.method == "x").unwrap();
+        assert_eq!(x.share_5x, 0.0);
+        assert_eq!(x.slowdowns, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn csv_has_inf_for_failures() {
+        let recs = vec![rec("a", &[("x", 1.0), ("y", f64::INFINITY)])];
+        let (_, csv) = run(&recs);
+        assert!(csv.contains("inf"));
+    }
+}

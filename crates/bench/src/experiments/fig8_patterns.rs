@@ -1,0 +1,90 @@
+//! Paper Fig. 8: non-zero patterns of the common matrices — rendered as
+//! ASCII "spy" plots of the 11 stand-ins.
+
+use speck_sparse::gen::common_matrices;
+use speck_sparse::Csr;
+
+/// Renders a `size x size` density spy plot of a matrix.
+pub fn spy(m: &Csr<f64>, size: usize) -> String {
+    let size = size.max(1);
+    let mut grid = vec![vec![0u32; size]; size];
+    let rs = (m.rows().max(1) as f64) / size as f64;
+    let cs = (m.cols().max(1) as f64) / size as f64;
+    for (r, cols, _) in m.iter_rows() {
+        let gr = ((r as f64 / rs) as usize).min(size - 1);
+        for &c in cols {
+            let gc = ((c as f64 / cs) as usize).min(size - 1);
+            grid[gr][gc] += 1;
+        }
+    }
+    let max = grid.iter().flatten().copied().max().unwrap_or(0).max(1);
+    let shades = [' ', '.', ':', 'o', '#', '@'];
+    let mut out = String::new();
+    out.push('+');
+    out.push_str(&"-".repeat(size));
+    out.push_str("+\n");
+    for row in &grid {
+        out.push('|');
+        for &v in row {
+            let idx = if v == 0 {
+                0
+            } else {
+                1 + ((v as f64 / max as f64) * (shades.len() - 2) as f64).round() as usize
+            };
+            out.push(shades[idx.min(shades.len() - 1)]);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(size));
+    out.push_str("+\n");
+    out
+}
+
+/// Renders all 11 patterns.
+pub fn run(size: usize) -> String {
+    let mut out = String::new();
+    for cm in common_matrices() {
+        out.push_str(&format!(
+            "{} ({}x{}, {} nnz) — {}\n",
+            cm.name,
+            cm.a.rows(),
+            cm.a.cols(),
+            cm.a.nnz(),
+            cm.family
+        ));
+        out.push_str(&spy(&cm.a, size));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spy_of_identity_is_diagonal() {
+        let m: Csr<f64> = Csr::identity(64);
+        let s = spy(&m, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        // 8 grid lines + 2 border lines.
+        assert_eq!(lines.len(), 10);
+        for (i, line) in lines[1..9].iter().enumerate() {
+            let chars: Vec<char> = line.chars().collect();
+            // Diagonal cell is dense, off-diagonals empty.
+            assert_ne!(chars[1 + i], ' ', "row {i}");
+            let off = (i + 4) % 8;
+            assert_eq!(chars[1 + off], ' ');
+        }
+    }
+
+    #[test]
+    fn run_renders_all_eleven() {
+        let s = run(16);
+        for name in ["webbase", "stat96v2", "TSC_OPF", "QCD"] {
+            assert!(s.contains(name));
+        }
+        assert_eq!(s.matches('+').count(), 11 * 4);
+    }
+}

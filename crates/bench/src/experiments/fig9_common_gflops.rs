@@ -1,0 +1,74 @@
+//! Paper Fig. 9: GFLOPS achieved by every method on the 11 common
+//! matrices.
+
+use crate::out::{render_csv, render_table};
+use crate::runner::MatrixRecord;
+
+/// Renders GFLOPS per (matrix, method) from common-corpus records.
+pub fn run(records: &[MatrixRecord]) -> (String, String) {
+    let methods: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|m| m.method.clone()).collect())
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    let mut header = vec!["matrix".to_string()];
+    header.extend(methods.iter().cloned());
+    header.push("winner".into());
+    rows.push(header);
+    for r in records {
+        let mut row = vec![r.name.clone()];
+        for m in &methods {
+            let g = r.gflops(m);
+            row.push(if g > 0.0 { format!("{g:.2}") } else { "-".into() });
+        }
+        let winner = r
+            .runs
+            .iter()
+            .filter(|x| x.ok)
+            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+            .map(|x| x.method.clone())
+            .unwrap_or_default();
+        row.push(winner);
+        rows.push(row);
+    }
+    (render_table(&rows), render_csv(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MethodRun;
+
+    #[test]
+    fn winner_column_names_fastest() {
+        let rec = MatrixRecord {
+            name: "m".into(),
+            family: "common".into(),
+            rows: 1,
+            nnz_a: 1,
+            products: 1000,
+            nnz_c: 1,
+            max_row_c: 1,
+            avg_row_c: 1.0,
+            runs: vec![
+                MethodRun {
+                    method: "slow".into(),
+                    time_s: 2.0,
+                    mem_bytes: 1,
+                    ok: true,
+                    sorted: true,
+                },
+                MethodRun {
+                    method: "fast".into(),
+                    time_s: 1.0,
+                    mem_bytes: 1,
+                    ok: true,
+                    sorted: true,
+                },
+            ],
+        };
+        let (table, csv) = run(&[rec]);
+        assert!(table.lines().last().unwrap().ends_with("fast"));
+        assert!(csv.contains("winner"));
+    }
+}

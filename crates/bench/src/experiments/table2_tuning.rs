@@ -1,0 +1,94 @@
+//! Paper Table 2: auto-tuning the global load-balancer thresholds by line
+//! search with inverse 3-fold cross validation (paper §5).
+
+use crate::corpus::CorpusSpec;
+use crate::out::render_table;
+use speck_core::config::{GlobalLbThresholds, SpeckConfig};
+use speck_core::tuning::{cross_validate, measure, CvResult, MatrixMeasurement};
+use speck_simt::{CostModel, DeviceConfig};
+
+/// Measures the tuning corpus (4 load-balancing combos per matrix).
+pub fn measure_corpus(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    specs: &[CorpusSpec],
+) -> Vec<MatrixMeasurement> {
+    let base = SpeckConfig::default();
+    specs
+        .iter()
+        .map(|spec| {
+            let (a, b) = spec.build();
+            measure(dev, cost, &base, &spec.name, &a, &b)
+        })
+        .collect()
+}
+
+fn thresholds_rows(label: &str, t: &GlobalLbThresholds) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.1}", t.symbolic_ratio),
+        t.symbolic_min_rows.to_string(),
+        format!("{:.1}", t.symbolic_ratio_large),
+        t.symbolic_min_rows_large.to_string(),
+        format!("{:.1}", t.numeric_ratio),
+        t.numeric_min_rows.to_string(),
+        format!("{:.1}", t.numeric_ratio_large),
+        t.numeric_min_rows_large.to_string(),
+    ]
+}
+
+/// Runs the tuning experiment and renders the Table-2 equivalent.
+pub fn run(dev: &DeviceConfig, cost: &CostModel, specs: &[CorpusSpec]) -> (String, CvResult) {
+    let meas = measure_corpus(dev, cost, specs);
+    let cv = cross_validate(&meas, 3);
+    let mut rows = vec![vec![
+        "thresholds".to_string(),
+        "sym ratio".into(),
+        "sym rows".into(),
+        "sym ratio*".into(),
+        "sym rows*".into(),
+        "num ratio".into(),
+        "num rows".into(),
+        "num ratio*".into(),
+        "num rows*".into(),
+    ]];
+    rows.push(thresholds_rows("tuned (this repo)", &cv.final_thresholds));
+    rows.push(thresholds_rows("paper Table 2", &GlobalLbThresholds::paper()));
+    rows.push(thresholds_rows(
+        "shipped default",
+        &GlobalLbThresholds::scaled_default(),
+    ));
+    let mut body = render_table(&rows);
+    body.push_str(&format!(
+        "\ntuning corpus: {} matrices, 4 combos each\n\
+         avg slowdown of tuned thresholds vs per-matrix best: {:.2}% (paper: 1.7%)\n\
+         per-fold evaluation slowdowns: {}\n\
+         fastest combo selected for {:.0}% of matrices (paper: 85%)\n",
+        meas.len(),
+        100.0 * (cv.final_loss - 1.0),
+        cv.fold_eval_loss
+            .iter()
+            .map(|l| format!("{:.2}%", 100.0 * (l - 1.0)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        100.0 * cv.final_accuracy,
+    ));
+    (body, cv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::smoke_corpus;
+
+    #[test]
+    fn tuning_runs_on_smoke_corpus() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let specs: Vec<_> = smoke_corpus().into_iter().take(6).collect();
+        let (body, cv) = run(&dev, &cost, &specs);
+        assert!(body.contains("paper Table 2"));
+        assert!(cv.final_loss >= 1.0);
+        assert!(cv.final_loss < 3.0, "tuned loss {}", cv.final_loss);
+    }
+}

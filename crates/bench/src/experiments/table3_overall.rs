@@ -1,0 +1,81 @@
+//! Paper Table 3: overall performance statistics over the corpus —
+//! #best, #best (>15k), #invalid, average time, memory ratio to spECK,
+//! relative time to the per-matrix best, and #(>5x slower).
+
+use crate::out::{fmt_ratio, render_table};
+use crate::runner::MatrixRecord;
+use crate::summary::{best_share, summarize, top2_share};
+
+/// Renders the Table-3 equivalent from corpus records.
+pub fn run(records: &[MatrixRecord]) -> String {
+    let sums = summarize(records);
+    let order = [
+        "cusparse", "ac", "nsparse", "rmerge", "bhsparse", "speck", "kokkos", "mkl",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["metric".to_string()];
+    header.extend(order.iter().map(|s| s.to_string()));
+    rows.push(header);
+    let metric = |label: &str, f: &dyn Fn(&crate::summary::MethodSummary) -> String| {
+        let mut r = vec![label.to_string()];
+        for name in order {
+            r.push(
+                sums.iter()
+                    .find(|s| s.method == name)
+                    .map(f)
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        r
+    };
+    rows.push(metric("#best", &|s| s.n_best.to_string()));
+    rows.push(metric("#best*", &|s| s.n_best_large.to_string()));
+    rows.push(metric("#inv.", &|s| s.n_invalid.to_string()));
+    rows.push(metric("t_avg [ms] (†)", &|s| {
+        if s.t_avg_ms.is_nan() {
+            "-".into()
+        } else {
+            format!("{:.2}", s.t_avg_ms)
+        }
+    }));
+    rows.push(metric("m/m_b (†)", &|s| fmt_ratio(s.mem_ratio)));
+    rows.push(metric("t/t_b", &|s| fmt_ratio(s.rel_time)));
+    rows.push(metric("t/t_b *", &|s| fmt_ratio(s.rel_time_large)));
+    rows.push(metric("#5x", &|s| s.n_5x.to_string()));
+    rows.push(metric("#5x *", &|s| s.n_5x_large.to_string()));
+
+    let mut body = render_table(&rows);
+    body.push_str(&format!(
+        "\nrows marked * restrict to >15k products; † = matrices completed by all GPU \
+         methods except kokkos, >15k products\n\
+         corpus: {} multiplications\n\
+         speck best share:       {:>5.1}% (paper: 70.2% all / 79% of >15k)\n\
+         speck best share >15k:  {:>5.1}%\n\
+         speck top-2 share >15k: {:>5.1}% (paper: best+second = 94%)\n",
+        records.len(),
+        100.0 * best_share(records, "speck", false),
+        100.0 * best_share(records, "speck", true),
+        100.0 * top2_share(records, "speck", true),
+    ));
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::smoke_corpus;
+    use crate::runner::run_corpus;
+    use speck_simt::{CostModel, DeviceConfig};
+
+    #[test]
+    fn renders_all_metric_rows() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let specs = smoke_corpus();
+        let records = run_corpus(&dev, &cost, &specs[..4.min(specs.len())], false);
+        let body = run(&records);
+        for label in ["#best", "#inv.", "t/t_b", "#5x", "speck best share"] {
+            assert!(body.contains(label), "missing {label} in:\n{body}");
+        }
+    }
+}

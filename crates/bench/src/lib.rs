@@ -1,0 +1,18 @@
+//! Experiment harness for the spECK reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), built on:
+//!
+//! * [`corpus`] — the synthetic benchmark corpus standing in for the
+//!   SuiteSparse collection.
+//! * [`runner`] — runs every method on a multiplication, validates the
+//!   results, and records simulated time and memory.
+//! * [`summary`] — the aggregate statistics of paper Table 3.
+//! * [`out`] — plain-text table and CSV emission under `bench/out/`.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod out;
+pub mod runner;
+pub mod summary;

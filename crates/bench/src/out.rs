@@ -1,0 +1,116 @@
+//! Plain-text tables and CSV emission for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory experiment outputs are written to.
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("out");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `content` to `bench/out/<name>` and reports where.
+pub fn write_out(name: &str, content: &str) {
+    let path = out_dir().join(name);
+    match fs::write(&path, content) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+}
+
+/// Renders an aligned text table; `rows` include the header as row 0.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align first column, right-align the rest.
+            if i == 0 {
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            } else {
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders rows as CSV (naive quoting: fields must not contain commas).
+pub fn render_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds as engineering-friendly milliseconds.
+pub fn fmt_ms(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "fail".to_string();
+    }
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// Formats a ratio with two decimals, or `-` for NaN.
+pub fn fmt_ratio(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&[
+            vec!["name".into(), "v".into()],
+            vec!["a".into(), "1".into()],
+            vec!["long-name".into(), "22".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let c = render_csv(&[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(0.001234), "1.234");
+        assert_eq!(fmt_ms(f64::INFINITY), "fail");
+        assert_eq!(fmt_ratio(f64::NAN), "-");
+        assert_eq!(fmt_ratio(1.5), "1.50");
+    }
+}

@@ -1,0 +1,223 @@
+//! Runs the method lineup over corpus entries and records the
+//! measurements the experiment binaries aggregate.
+
+use crate::corpus::CorpusSpec;
+use speck_baselines::{all_methods, SpgemmMethod};
+use speck_simt::{CostModel, DeviceConfig};
+use speck_sparse::reference::spgemm_seq;
+use speck_sparse::stats::ProductStats;
+use speck_sparse::Csr;
+
+/// One method's measurement on one multiplication.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// Method name.
+    pub method: String,
+    /// Simulated seconds; `f64::INFINITY` when failed.
+    pub time_s: f64,
+    /// Peak device bytes; 0 when failed.
+    pub mem_bytes: usize,
+    /// Did the method complete?
+    pub ok: bool,
+    /// Does it return sorted CSR?
+    pub sorted: bool,
+}
+
+/// All measurements for one multiplication.
+#[derive(Clone, Debug)]
+pub struct MatrixRecord {
+    /// Corpus entry name.
+    pub name: String,
+    /// Structural family.
+    pub family: String,
+    /// Rows of A.
+    pub rows: usize,
+    /// NNZ of A.
+    pub nnz_a: usize,
+    /// Intermediate products.
+    pub products: u64,
+    /// NNZ of the output C.
+    pub nnz_c: usize,
+    /// Largest output row.
+    pub max_row_c: usize,
+    /// Mean output row length.
+    pub avg_row_c: f64,
+    /// Per-method measurements, in registry order.
+    pub runs: Vec<MethodRun>,
+}
+
+impl MatrixRecord {
+    /// Fastest successful time over all methods.
+    pub fn best_time(&self) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.ok)
+            .map(|r| r.time_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fastest successful time over GPU methods only.
+    pub fn best_gpu_time(&self) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.ok && r.method != "mkl")
+            .map(|r| r.time_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The measurement of one method, if present.
+    pub fn run(&self, method: &str) -> Option<&MethodRun> {
+        self.runs.iter().find(|r| r.method == method)
+    }
+
+    /// GFLOPS of one method at the paper's 2-ops-per-product convention.
+    pub fn gflops(&self, method: &str) -> f64 {
+        match self.run(method) {
+            Some(r) if r.ok && r.time_s > 0.0 => {
+                (2 * self.products) as f64 / r.time_s / 1e9
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Runs every registered method on one corpus entry.
+///
+/// When `validate` is set, each result is checked element-wise against the
+/// sequential reference (unsorted outputs are canonicalised first) and a
+/// mismatch panics — benchmarks must never trade correctness for speed.
+pub fn run_entry(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    spec: &CorpusSpec,
+    validate: bool,
+) -> MatrixRecord {
+    let (a, b) = spec.build();
+    run_pair(dev, cost, &spec.name, spec.family, &a, &b, validate)
+}
+
+/// Runs every registered method on an explicit pair.
+pub fn run_pair(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    name: &str,
+    family: &str,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    validate: bool,
+) -> MatrixRecord {
+    let reference = spgemm_seq(a, b);
+    let ps = ProductStats::of(a, b, &reference);
+    let max_row_c = reference.max_row_nnz();
+    let avg_row_c = reference.avg_row_nnz();
+
+    let mut runs = Vec::new();
+    for method in all_methods() {
+        runs.push(run_method(dev, cost, method.as_ref(), a, b, &reference, validate));
+    }
+    MatrixRecord {
+        name: name.to_string(),
+        family: family.to_string(),
+        rows: a.rows(),
+        nnz_a: a.nnz(),
+        products: ps.products,
+        nnz_c: reference.nnz(),
+        max_row_c,
+        avg_row_c,
+        runs,
+    }
+}
+
+/// Runs a single method against a precomputed reference.
+pub fn run_method(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    method: &dyn SpgemmMethod,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    reference: &Csr<f64>,
+    validate: bool,
+) -> MethodRun {
+    let r = method.multiply(dev, cost, a, b);
+    if validate && r.ok() {
+        let mut c = r.c.clone().expect("ok result must carry a matrix");
+        if !r.sorted_output {
+            c.sort_rows();
+        }
+        assert!(
+            c.approx_eq(reference, 1e-9, 1e-12),
+            "{} returned a wrong result",
+            method.name()
+        );
+    }
+    MethodRun {
+        method: method.name().to_string(),
+        time_s: r.sim_time_s,
+        mem_bytes: if r.ok() { r.peak_mem_bytes } else { 0 },
+        ok: r.ok(),
+        sorted: r.sorted_output,
+    }
+}
+
+/// Runs the whole corpus sequentially (each entry is internally parallel),
+/// printing one progress line per entry.
+pub fn run_corpus(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    specs: &[CorpusSpec],
+    validate: bool,
+) -> Vec<MatrixRecord> {
+    let mut records = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let rec = run_entry(dev, cost, spec, validate);
+        eprintln!(
+            "[{}/{}] {:<24} products={:<10} best={}",
+            i + 1,
+            specs.len(),
+            rec.name,
+            rec.products,
+            rec.runs
+                .iter()
+                .filter(|r| r.ok)
+                .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+                .map(|r| r.method.as_str())
+                .unwrap_or("-"),
+        );
+        records.push(rec);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::smoke_corpus;
+
+    #[test]
+    fn smoke_corpus_runs_and_validates() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let specs = smoke_corpus();
+        assert!(!specs.is_empty());
+        // Keep runtime bounded: first three entries only.
+        for spec in specs.iter().take(3) {
+            let rec = run_entry(&dev, &cost, spec, true);
+            assert_eq!(rec.runs.len(), 8);
+            assert!(rec.best_time().is_finite());
+            assert!(rec.best_gpu_time() >= rec.best_time());
+            assert!(rec.run("speck").unwrap().ok);
+        }
+    }
+
+    #[test]
+    fn gflops_computation() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let spec = &smoke_corpus()[0];
+        let rec = run_entry(&dev, &cost, spec, false);
+        let g = rec.gflops("speck");
+        let r = rec.run("speck").unwrap();
+        assert!((g - (2 * rec.products) as f64 / r.time_s / 1e9).abs() < 1e-9);
+        assert_eq!(rec.gflops("nonexistent"), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Aggregate statistics over a set of [`MatrixRecord`]s — the rows of
+//! paper Table 3.
+
+use crate::runner::MatrixRecord;
+
+/// Product-count threshold separating the CPU-favoured region (paper §6:
+/// ">15k products" defines the starred rows of Table 3).
+pub const PRODUCTS_CUTOFF: u64 = 15_000;
+
+/// Table-3 statistics for one method.
+#[derive(Clone, Debug)]
+pub struct MethodSummary {
+    /// Method name.
+    pub method: String,
+    /// Matrices where this method was the fastest overall.
+    pub n_best: usize,
+    /// Same, restricted to >15k products.
+    pub n_best_large: usize,
+    /// Matrices the method failed to compute.
+    pub n_invalid: usize,
+    /// Mean time in ms over the common-completion subset.
+    pub t_avg_ms: f64,
+    /// Mean peak memory relative to spECK over the common subset.
+    pub mem_ratio: f64,
+    /// Mean relative time versus the per-matrix best (all matrices).
+    pub rel_time: f64,
+    /// Same, restricted to >15k products.
+    pub rel_time_large: f64,
+    /// Matrices where this method is >5x slower than the best.
+    pub n_5x: usize,
+    /// Same, restricted to >15k products.
+    pub n_5x_large: usize,
+}
+
+/// Computes Table-3 statistics for every method present in the records.
+///
+/// `t_avg` and `mem_ratio` follow the paper's convention: they are taken
+/// over the matrices **completed by all GPU methods except KokkosKernels**
+/// with >15k products (the paper's "†" subset).
+pub fn summarize(records: &[MatrixRecord]) -> Vec<MethodSummary> {
+    let methods: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|m| m.method.clone()).collect())
+        .unwrap_or_default();
+
+    // The † subset.
+    let common_subset: Vec<&MatrixRecord> = records
+        .iter()
+        .filter(|r| {
+            r.products > PRODUCTS_CUTOFF
+                && r.runs
+                    .iter()
+                    .filter(|m| m.method != "kokkos" && m.method != "mkl")
+                    .all(|m| m.ok)
+        })
+        .collect();
+
+    methods
+        .iter()
+        .map(|name| {
+            let mut n_best = 0;
+            let mut n_best_large = 0;
+            let mut n_invalid = 0;
+            let mut rel = Vec::new();
+            let mut rel_large = Vec::new();
+            let mut n_5x = 0;
+            let mut n_5x_large = 0;
+            for r in records {
+                let best = r.best_time();
+                let run = r.run(name).unwrap();
+                if !run.ok {
+                    n_invalid += 1;
+                }
+                let is_best = run.ok && run.time_s <= best * (1.0 + 1e-12);
+                let ratio = if run.ok { run.time_s / best } else { f64::NAN };
+                if is_best {
+                    n_best += 1;
+                }
+                if run.ok && ratio > 5.0 {
+                    n_5x += 1;
+                }
+                if run.ok {
+                    rel.push(ratio);
+                }
+                if r.products > PRODUCTS_CUTOFF {
+                    if is_best {
+                        n_best_large += 1;
+                    }
+                    if run.ok {
+                        rel_large.push(ratio);
+                        if ratio > 5.0 {
+                            n_5x_large += 1;
+                        }
+                    }
+                }
+            }
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            let t_avg_ms = mean(
+                &common_subset
+                    .iter()
+                    .filter_map(|r| {
+                        let run = r.run(name)?;
+                        run.ok.then_some(run.time_s * 1e3)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let mem_ratio = mean(
+                &common_subset
+                    .iter()
+                    .filter_map(|r| {
+                        let run = r.run(name)?;
+                        let speck = r.run("speck")?;
+                        (run.ok && speck.ok && speck.mem_bytes > 0)
+                            .then(|| run.mem_bytes as f64 / speck.mem_bytes as f64)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            MethodSummary {
+                method: name.clone(),
+                n_best,
+                n_best_large,
+                n_invalid,
+                t_avg_ms,
+                mem_ratio,
+                rel_time: mean(&rel),
+                rel_time_large: mean(&rel_large),
+                n_5x,
+                n_5x_large,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of records where `method` is fastest (the headline "79 %").
+pub fn best_share(records: &[MatrixRecord], method: &str, large_only: bool) -> f64 {
+    let filtered: Vec<&MatrixRecord> = records
+        .iter()
+        .filter(|r| !large_only || r.products > PRODUCTS_CUTOFF)
+        .collect();
+    if filtered.is_empty() {
+        return 0.0;
+    }
+    let wins = filtered
+        .iter()
+        .filter(|r| {
+            let best = r.best_time();
+            r.run(method)
+                .map(|m| m.ok && m.time_s <= best * (1.0 + 1e-12))
+                .unwrap_or(false)
+        })
+        .count();
+    wins as f64 / filtered.len() as f64
+}
+
+/// Fraction of records where `method` is fastest or second fastest.
+pub fn top2_share(records: &[MatrixRecord], method: &str, large_only: bool) -> f64 {
+    let filtered: Vec<&MatrixRecord> = records
+        .iter()
+        .filter(|r| !large_only || r.products > PRODUCTS_CUTOFF)
+        .collect();
+    if filtered.is_empty() {
+        return 0.0;
+    }
+    let hits = filtered
+        .iter()
+        .filter(|r| {
+            let mut times: Vec<f64> = r.runs.iter().filter(|m| m.ok).map(|m| m.time_s).collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let second = times.get(1).copied().unwrap_or(f64::INFINITY);
+            r.run(method)
+                .map(|m| m.ok && m.time_s <= second * (1.0 + 1e-12))
+                .unwrap_or(false)
+        })
+        .count();
+    hits as f64 / filtered.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MethodRun;
+
+    fn record(name: &str, products: u64, times: &[(&str, f64)]) -> MatrixRecord {
+        MatrixRecord {
+            name: name.into(),
+            family: "test".into(),
+            rows: 10,
+            nnz_a: 10,
+            products,
+            nnz_c: 10,
+            max_row_c: 3,
+            avg_row_c: 1.0,
+            runs: times
+                .iter()
+                .map(|&(m, t)| MethodRun {
+                    method: m.into(),
+                    time_s: t,
+                    mem_bytes: 100,
+                    ok: t.is_finite(),
+                    sorted: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn best_counts_and_rel_time() {
+        let recs = vec![
+            record("a", 20_000, &[("speck", 1.0), ("nsparse", 2.0)]),
+            record("b", 20_000, &[("speck", 3.0), ("nsparse", 1.0)]),
+            record("c", 1_000, &[("speck", 1.0), ("nsparse", 10.0)]),
+        ];
+        let s = summarize(&recs);
+        let speck = s.iter().find(|m| m.method == "speck").unwrap();
+        assert_eq!(speck.n_best, 2);
+        assert_eq!(speck.n_best_large, 1);
+        let nsp = s.iter().find(|m| m.method == "nsparse").unwrap();
+        assert_eq!(nsp.n_best, 1);
+        assert_eq!(nsp.n_5x, 1);
+        // speck rel: (1 + 3 + 1)/3
+        assert!((speck.rel_time - 5.0 / 3.0).abs() < 1e-12);
+        assert!((best_share(&recs, "speck", false) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((top2_share(&recs, "speck", false) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_count_as_invalid() {
+        let recs = vec![record(
+            "a",
+            20_000,
+            &[("speck", 1.0), ("kokkos", f64::INFINITY)],
+        )];
+        let s = summarize(&recs);
+        let kk = s.iter().find(|m| m.method == "kokkos").unwrap();
+        assert_eq!(kk.n_invalid, 1);
+        assert_eq!(kk.n_best, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-block execution context: the API a kernel closure uses to do work
+//! and to record its cost.
+
+use crate::cost::BlockCost;
+use crate::kernel::KernelConfig;
+use crate::scratchpad::Scratchpad;
+
+/// Context handed to a kernel closure, one per thread block.
+#[derive(Debug)]
+pub struct BlockCtx {
+    block_id: usize,
+    cfg: KernelConfig,
+    transaction_bytes: usize,
+    warp_size: usize,
+    /// Scratchpad arena of this block.
+    pub scratch: Scratchpad,
+    cost: BlockCost,
+}
+
+impl BlockCtx {
+    /// Creates a context (called by the executor).
+    pub(crate) fn new(
+        block_id: usize,
+        cfg: KernelConfig,
+        transaction_bytes: usize,
+        warp_size: usize,
+    ) -> Self {
+        Self {
+            block_id,
+            cfg,
+            transaction_bytes,
+            warp_size,
+            scratch: Scratchpad::new(cfg.scratch_bytes),
+            cost: BlockCost::default(),
+        }
+    }
+
+    /// Index of this block in the grid.
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Threads in this block.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// SIMT width of the device.
+    #[inline]
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Events recorded so far.
+    pub fn cost(&self) -> &BlockCost {
+        &self.cost
+    }
+
+    pub(crate) fn into_cost(self) -> BlockCost {
+        self.cost
+    }
+
+    /// Warps resident in this block (rounded up).
+    #[inline]
+    pub fn warps(&self) -> u64 {
+        (self.cfg.threads as u64).div_ceil(self.warp_size as u64)
+    }
+
+    // ---- low-level charges -------------------------------------------------
+
+    /// Charges `n` cooperative block-level issue rounds. Every round issues
+    /// one instruction bundle per resident warp, so the recorded unit is
+    /// *warp*-rounds — oversized groups with idle lanes pay full price.
+    #[inline]
+    pub fn charge_rounds(&mut self, n: u64) {
+        self.cost.issue_rounds += n * self.warps();
+    }
+
+    /// Charges `n` coalesced global transactions directly.
+    #[inline]
+    pub fn charge_gmem_tx(&mut self, n: u64) {
+        self.cost.gmem_tx += n;
+    }
+
+    /// Charges `count` scattered global accesses (uncoalesced gathers).
+    #[inline]
+    pub fn charge_gmem_scatter(&mut self, count: u64) {
+        self.cost.gmem_scatter += count;
+    }
+
+    /// Charges `n` global atomics.
+    #[inline]
+    pub fn charge_gmem_atomic(&mut self, n: u64) {
+        self.cost.gmem_atomics += n;
+    }
+
+    /// Charges `n` scratchpad accesses.
+    #[inline]
+    pub fn charge_smem(&mut self, n: u64) {
+        self.cost.smem_ops += n;
+    }
+
+    /// Charges `n` scratchpad atomics.
+    #[inline]
+    pub fn charge_smem_atomic(&mut self, n: u64) {
+        self.cost.smem_atomics += n;
+    }
+
+    /// Charges `n` extra linear-probe steps.
+    #[inline]
+    pub fn charge_probes(&mut self, n: u64) {
+        self.cost.hash_probes += n;
+    }
+
+    /// Charges `n` sorting comparison steps.
+    #[inline]
+    pub fn charge_sort_steps(&mut self, n: u64) {
+        self.cost.sort_steps += n;
+    }
+
+    /// Charges one block-wide barrier.
+    #[inline]
+    pub fn charge_sync(&mut self) {
+        self.cost.syncs += 1;
+    }
+
+    /// Charges `n` elements spilled to a global hash map.
+    #[inline]
+    pub fn charge_spill(&mut self, n: u64) {
+        self.cost.spilled_elems += n;
+    }
+
+    // ---- composite helpers -------------------------------------------------
+
+    /// Cost of a group of `g` threads streaming `len` consecutive elements
+    /// of `elem_bytes` each from global memory: `ceil(len/g)` issue rounds;
+    /// every round moves up to `g * elem_bytes` contiguous bytes =
+    /// `ceil(g*elem_bytes/tx)` transactions (the coalescing model of paper
+    /// Fig. 1). Returns the number of rounds.
+    pub fn charge_gmem_stream(&mut self, g: usize, len: usize, elem_bytes: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let g = g.max(1);
+        let rounds = len.div_ceil(g) as u64;
+        self.cost.issue_rounds += rounds * self.warps();
+        // Full rounds move g elements; the last moves the remainder.
+        let full = (len / g) as u64;
+        let tx_full = (g * elem_bytes).div_ceil(self.transaction_bytes) as u64;
+        self.cost.gmem_tx += full * tx_full;
+        let rem = len % g;
+        if rem > 0 {
+            self.cost.gmem_tx += (rem * elem_bytes).div_ceil(self.transaction_bytes) as u64;
+        }
+        rounds
+    }
+
+    /// Cost of writing `len` consecutive elements back to global memory by
+    /// the whole block (coalesced, `threads`-wide).
+    pub fn charge_gmem_store(&mut self, len: usize, elem_bytes: usize) -> u64 {
+        self.charge_gmem_stream(self.cfg.threads, len, elem_bytes)
+    }
+
+    /// Transaction count of a `g`-wide stream over `len` elements of
+    /// `elem_bytes` each, *without* charging anything. Kernels that compute
+    /// their issue rounds separately (via [`simulate_group_rounds`]) use
+    /// this to charge memory traffic without double-counting rounds.
+    pub fn stream_tx(&self, g: usize, len: usize, elem_bytes: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let g = g.max(1);
+        let full = (len / g) as u64;
+        let mut tx = full * ((g * elem_bytes).div_ceil(self.transaction_bytes) as u64);
+        let rem = len % g;
+        if rem > 0 {
+            tx += (rem * elem_bytes).div_ceil(self.transaction_bytes) as u64;
+        }
+        tx
+    }
+}
+
+/// Iteration count of a block whose `k` groups dynamically pick tasks.
+///
+/// The paper's local load balancer assigns groups "successively to the NZ
+/// of A" (§4.3): the block finishes after roughly `total/k` rounds but can
+/// never beat the single longest task. Returns
+/// `max(ceil(total_iters / k), max_task_iters)`.
+pub fn simulate_group_rounds(k: usize, iters_per_task: impl IntoIterator<Item = u64>) -> u64 {
+    let k = k.max(1) as u64;
+    let mut total = 0u64;
+    let mut max_task = 0u64;
+    for it in iters_per_task {
+        total += it;
+        max_task = max_task.max(it);
+    }
+    max_task.max(total.div_ceil(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BlockCtx {
+        BlockCtx::new(0, KernelConfig::new(256, 16 * 1024), 128, 32)
+    }
+
+    #[test]
+    fn stream_rounds_match_paper_figure_1() {
+        // Fig. 1: 8 threads, rows of B with 1,7,3,1 entries.
+        // g=8: 4 iterations; g=4: lengths ceil(1/4)+ceil(7/4)+... = 1+2+1+1=5
+        //       split over 2 groups -> 3 rounds; g=2: 1+4+2+1=8 over 4 groups
+        //       -> max(ceil(8/4), 4) = 4; g=1: longest row alone needs 7.
+        let rows = [1u64, 7, 3, 1];
+        let iters = |g: u64| rows.iter().map(move |&l| l.div_ceil(g));
+        assert_eq!(simulate_group_rounds(1, iters(8)), 4);
+        assert_eq!(simulate_group_rounds(2, iters(4)), 3);
+        assert_eq!(simulate_group_rounds(4, iters(2)), 4);
+        assert_eq!(simulate_group_rounds(8, iters(1)), 7);
+    }
+
+    #[test]
+    fn stream_counts_transactions_by_coalescing() {
+        let mut c = ctx();
+        // 32 threads reading 64 doubles: 2 rounds, each 32*8=256 B = 2 tx.
+        let rounds = c.charge_gmem_stream(32, 64, 8);
+        assert_eq!(rounds, 2);
+        assert_eq!(c.cost().gmem_tx, 4);
+        // 256-thread block = 8 warps; 2 rounds -> 16 warp-rounds.
+        assert_eq!(c.cost().issue_rounds, 16);
+    }
+
+    #[test]
+    fn stream_remainder_rounds_up() {
+        let mut c = ctx();
+        // 32 threads reading 33 u32s: 2 rounds; first 32*4=128B=1tx, then 4B=1tx.
+        let rounds = c.charge_gmem_stream(32, 33, 4);
+        assert_eq!(rounds, 2);
+        assert_eq!(c.cost().gmem_tx, 2);
+    }
+
+    #[test]
+    fn narrow_group_wastes_transactions() {
+        // Same 64 doubles with g=2: 32 rounds, each 16 B still costs 1 tx.
+        let mut a = ctx();
+        a.charge_gmem_stream(2, 64, 8);
+        let mut b = ctx();
+        b.charge_gmem_stream(32, 64, 8);
+        assert!(a.cost().gmem_tx > b.cost().gmem_tx);
+        assert!(a.cost().issue_rounds > b.cost().issue_rounds);
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let mut c = ctx();
+        assert_eq!(c.charge_gmem_stream(32, 0, 8), 0);
+        assert_eq!(*c.cost(), BlockCost::default());
+    }
+
+    #[test]
+    fn group_rounds_balances_work() {
+        // 10 tasks of 3 iterations over 5 groups: 6 rounds.
+        assert_eq!(simulate_group_rounds(5, std::iter::repeat_n(3, 10)), 6);
+        // Straggler dominates.
+        assert_eq!(simulate_group_rounds(8, [100u64, 1, 1].into_iter()), 100);
+        // Zero tasks: zero rounds.
+        assert_eq!(simulate_group_rounds(4, std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = ctx();
+        c.charge_rounds(5);
+        c.charge_smem(10);
+        c.charge_smem_atomic(3);
+        c.charge_probes(2);
+        c.charge_sync();
+        c.charge_spill(7);
+        c.charge_gmem_atomic(1);
+        c.charge_gmem_scatter(4);
+        c.charge_sort_steps(6);
+        let cost = c.cost();
+        // 5 block rounds x 8 warps.
+        assert_eq!(cost.issue_rounds, 40);
+        assert_eq!(cost.smem_ops, 10);
+        assert_eq!(cost.smem_atomics, 3);
+        assert_eq!(cost.hash_probes, 2);
+        assert_eq!(cost.syncs, 1);
+        assert_eq!(cost.spilled_elems, 7);
+        assert_eq!(cost.gmem_atomics, 1);
+        assert_eq!(cost.gmem_scatter, 4);
+        assert_eq!(cost.sort_steps, 6);
+    }
+}

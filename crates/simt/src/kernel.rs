@@ -1,0 +1,71 @@
+//! Kernel launch shape.
+
+use crate::device::DeviceConfig;
+
+/// Shape of one kernel launch: threads per block and scratchpad bytes per
+/// block. The grid size is passed separately to [`crate::exec::launch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Threads per block (must be a multiple of the warp size for full
+    /// efficiency; the simulator rounds up internally).
+    pub threads: usize,
+    /// Scratchpad bytes requested per block.
+    pub scratch_bytes: usize,
+}
+
+impl KernelConfig {
+    /// Creates a kernel configuration.
+    pub fn new(threads: usize, scratch_bytes: usize) -> Self {
+        assert!(threads > 0, "KernelConfig: threads must be positive");
+        Self {
+            threads,
+            scratch_bytes,
+        }
+    }
+
+    /// Occupancy of this configuration on `dev`, as resident blocks per SM.
+    pub fn blocks_per_sm(&self, dev: &DeviceConfig) -> usize {
+        dev.blocks_per_sm(self.threads, self.scratch_bytes)
+    }
+
+    /// Fraction of the SM's thread capacity this configuration keeps busy —
+    /// the "full hardware utilization" criterion of paper §4.2.
+    pub fn thread_occupancy(&self, dev: &DeviceConfig) -> f64 {
+        let resident = self.blocks_per_sm(dev) * self.threads;
+        (resident as f64 / dev.max_threads_per_sm as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_fully_occupy_titan_v() {
+        let dev = DeviceConfig::titan_v();
+        // The paper's cascade: (1024 t, 48 KiB), (512, 24 KiB), ... each
+        // halving both, all reach full thread occupancy.
+        for i in 0..5 {
+            let cfg = KernelConfig::new(1024 >> i, (48 * 1024) >> i);
+            assert_eq!(
+                cfg.thread_occupancy(&dev),
+                1.0,
+                "config {i} should fully occupy"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_scratch_halves_occupancy() {
+        let dev = DeviceConfig::titan_v();
+        let big = KernelConfig::new(1024, 96 * 1024);
+        assert_eq!(big.blocks_per_sm(&dev), 1);
+        assert!((big.thread_occupancy(&dev) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_rejected() {
+        let _ = KernelConfig::new(0, 0);
+    }
+}

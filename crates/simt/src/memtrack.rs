@@ -1,0 +1,84 @@
+//! Device-memory accounting for the paper's peak-memory comparison
+//! (Table 3's `m/m_b` row and Fig. 10).
+//!
+//! The paper measures every allocation made during the multiplication,
+//! including the output matrix C. We mirror that: methods register each
+//! logical device allocation/free; the tracker reports the peak.
+
+/// Tracks simulated device-memory usage.
+#[derive(Clone, Debug, Default)]
+pub struct MemTracker {
+    current: usize,
+    peak: usize,
+    allocations: usize,
+}
+
+impl MemTracker {
+    /// A tracker with nothing allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation of `bytes`; returns the same value so call
+    /// sites can keep a handle for the matching [`MemTracker::free`].
+    pub fn alloc(&mut self, bytes: usize) -> usize {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+        self.allocations += 1;
+        bytes
+    }
+
+    /// Registers a free of `bytes`.
+    pub fn free(&mut self, bytes: usize) {
+        assert!(bytes <= self.current, "MemTracker: freeing more than allocated");
+        self.current -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak bytes ever allocated.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of allocation calls (each costs launch-like overhead; the
+    /// pipeline charges `alloc_overhead_cycles` per call).
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut t = MemTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        t.free(100);
+        t.alloc(20);
+        assert_eq!(t.current(), 70);
+        assert_eq!(t.peak(), 150);
+        assert_eq!(t.allocations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more")]
+    fn overfree_panics() {
+        let mut t = MemTracker::new();
+        t.alloc(10);
+        t.free(11);
+    }
+
+    #[test]
+    fn fresh_tracker_is_zero() {
+        let t = MemTracker::new();
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 0);
+    }
+}

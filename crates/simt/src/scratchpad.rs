@@ -1,0 +1,144 @@
+//! Capacity-checked scratchpad (shared-memory) arena.
+//!
+//! Real storage is host memory; what matters for fidelity is that a block
+//! can never hold more bytes than its [`crate::KernelConfig`] requested,
+//! because every decision in spECK's global load balancer is capacity
+//! arithmetic over this limit.
+
+/// Per-block scratchpad allocator.
+#[derive(Debug)]
+pub struct Scratchpad {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+impl Scratchpad {
+    /// A scratchpad with the given byte capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Highest `used` value observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    fn bump(&mut self, bytes: usize, what: &str) {
+        assert!(
+            self.used + bytes <= self.capacity,
+            "scratchpad overflow: {what} needs {bytes} B but only {} of {} B remain \
+             (a load-balancing bug: spECK must size blocks to fit)",
+            self.remaining(),
+            self.capacity
+        );
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+    }
+
+    /// Accounts for `bytes` of scratchpad use without materialising
+    /// storage — for kernels whose working set lives in an external
+    /// structure (e.g. the hash accumulator) but must still respect the
+    /// block's capacity.
+    pub fn reserve(&mut self, bytes: usize, what: &str) {
+        self.bump(bytes, what);
+    }
+
+    /// Allocates `n` u32 slots initialised to `fill`.
+    pub fn alloc_u32(&mut self, n: usize, fill: u32) -> Vec<u32> {
+        self.bump(n * 4, "u32 array");
+        vec![fill; n]
+    }
+
+    /// Allocates `n` u64 slots initialised to `fill`.
+    pub fn alloc_u64(&mut self, n: usize, fill: u64) -> Vec<u64> {
+        self.bump(n * 8, "u64 array");
+        vec![fill; n]
+    }
+
+    /// Allocates `n` f64 slots initialised to zero.
+    pub fn alloc_f64(&mut self, n: usize) -> Vec<f64> {
+        self.bump(n * 8, "f64 array");
+        vec![0.0; n]
+    }
+
+    /// Allocates a bit mask of `n` bits (rounded up to whole words).
+    pub fn alloc_bitmask(&mut self, n: usize) -> Vec<u64> {
+        let words = n.div_ceil(64);
+        self.bump(words * 8, "bitmask");
+        vec![0u64; words]
+    }
+
+    /// Releases `bytes` back (scoped reuse between kernel phases).
+    pub fn release(&mut self, bytes: usize) {
+        assert!(bytes <= self.used, "scratchpad release underflow");
+        self.used -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity() {
+        let mut s = Scratchpad::new(1024);
+        let a = s.alloc_u32(100, 0);
+        assert_eq!(a.len(), 100);
+        assert_eq!(s.used(), 400);
+        let b = s.alloc_f64(64);
+        assert_eq!(b.len(), 64);
+        assert_eq!(s.used(), 400 + 512);
+        assert_eq!(s.remaining(), 1024 - 912);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratchpad overflow")]
+    fn overflow_panics() {
+        let mut s = Scratchpad::new(64);
+        let _ = s.alloc_f64(9);
+    }
+
+    #[test]
+    fn bitmask_rounds_to_words() {
+        let mut s = Scratchpad::new(1024);
+        let m = s.alloc_bitmask(65);
+        assert_eq!(m.len(), 2);
+        assert_eq!(s.used(), 16);
+    }
+
+    #[test]
+    fn release_allows_phase_reuse() {
+        let mut s = Scratchpad::new(100);
+        let _a = s.alloc_u32(20, 0); // 80 bytes
+        s.release(80);
+        let _b = s.alloc_u32(25, 0); // fits again
+        assert_eq!(s.high_water(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn release_more_than_used_panics() {
+        let mut s = Scratchpad::new(100);
+        s.release(1);
+    }
+}

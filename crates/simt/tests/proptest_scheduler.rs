@@ -1,0 +1,81 @@
+//! Property-based tests of the simulator's scheduler: lower bounds,
+//! monotonicity and determinism on arbitrary block-cost distributions.
+
+use proptest::prelude::*;
+use speck_simt::exec::schedule_blocks;
+use speck_simt::{launch, CostModel, DeviceConfig, KernelConfig};
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (0u32..100_000, 0u32..100_000).prop_map(|(c, m)| (c as f64, m as f64)),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn makespan_respects_lower_bounds(blocks in blocks_strategy()) {
+        let dev = DeviceConfig::titan_v();
+        let cfg = KernelConfig::new(256, 8 * 1024);
+        let t = schedule_blocks(&dev, cfg, &blocks);
+        // Never below the single most expensive block.
+        let max_serial = blocks
+            .iter()
+            .map(|&(c, m)| c.max(m))
+            .fold(0.0f64, f64::max);
+        prop_assert!(t >= max_serial - 1e-9);
+        // Never below total work spread over all SMs.
+        let total_c: f64 = blocks.iter().map(|b| b.0).sum();
+        let total_m: f64 = blocks.iter().map(|b| b.1).sum();
+        let sms = dev.num_sms as f64;
+        prop_assert!(t >= total_c / sms - 1e-9);
+        prop_assert!(t >= total_m / sms - 1e-9);
+        // And never above fully serial execution on one SM.
+        let serial: f64 = blocks.iter().map(|&(c, m)| c.max(m)).sum();
+        prop_assert!(t <= serial + 1e-9);
+    }
+
+    #[test]
+    fn adding_work_never_speeds_up(blocks in blocks_strategy(), extra in 0u32..100_000) {
+        let dev = DeviceConfig::titan_v();
+        let cfg = KernelConfig::new(128, 0);
+        let t1 = schedule_blocks(&dev, cfg, &blocks);
+        let mut more = blocks.clone();
+        more.push((extra as f64, extra as f64 / 2.0));
+        let t2 = schedule_blocks(&dev, cfg, &more);
+        prop_assert!(t2 >= t1 - 1e-9);
+    }
+
+    #[test]
+    fn lower_occupancy_never_speeds_up(blocks in blocks_strategy()) {
+        let dev = DeviceConfig::titan_v();
+        let high = KernelConfig::new(256, 4 * 1024); // many resident blocks
+        let low = KernelConfig::new(256, 96 * 1024); // one resident block
+        let t_high = schedule_blocks(&dev, high, &blocks);
+        let t_low = schedule_blocks(&dev, low, &blocks);
+        prop_assert!(t_low >= t_high - 1e-9);
+    }
+
+    #[test]
+    fn launch_is_deterministic_for_random_charges(
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let dev = DeviceConfig::tiny();
+        let cost = CostModel::default();
+        let run = || {
+            launch(&dev, &cost, "prop", seeds.len(), KernelConfig::new(64, 0), |ctx| {
+                let s = seeds[ctx.block_id()];
+                ctx.charge_rounds(s % 97);
+                ctx.charge_gmem_tx(s % 31);
+                ctx.charge_gmem_scatter(s % 13);
+                if s % 5 == 0 {
+                    ctx.charge_sync();
+                }
+            })
+            .sim_cycles
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,203 @@
+//! Coordinate (triplet) format — the interchange format used by the
+//! MatrixMarket reader and the generators before conversion to CSR.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// A sparse matrix as unordered `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct Coo<V> {
+    rows: usize,
+    cols: usize,
+    row_idx: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<V>,
+}
+
+impl<V: Scalar> Coo<V> {
+    /// Builds from parallel triplet arrays. Panics if lengths differ.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        row_idx: Vec<u32>,
+        col_idx: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Self {
+        assert_eq!(row_idx.len(), col_idx.len());
+        assert_eq!(row_idx.len(), vals.len());
+        Self {
+            rows,
+            cols,
+            row_idx,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// An empty triplet list with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_idx: Vec::new(),
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Appends one entry; duplicates are allowed and combined by
+    /// [`Coo::to_csr`].
+    pub fn push(&mut self, row: u32, col: u32, val: V) {
+        debug_assert!((row as usize) < self.rows && (col as usize) < self.cols);
+        self.row_idx.push(row);
+        self.col_idx.push(col);
+        self.vals.push(val);
+    }
+
+    /// Number of stored triplets (before duplicate combination).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Converts to CSR: counting sort by row, in-row sort by column, and
+    /// summation of duplicate coordinates.
+    pub fn to_csr(&self) -> Csr<V> {
+        // Counting sort by row keeps the conversion O(nnz + rows).
+        let mut counts = vec![0usize; self.rows + 1];
+        for &r in &self.row_idx {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.len()];
+        let mut cursor = counts.clone();
+        for (t, &r) in self.row_idx.iter().enumerate() {
+            order[cursor[r as usize]] = t;
+            cursor[r as usize] += 1;
+        }
+
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_out: Vec<u32> = Vec::with_capacity(self.len());
+        let mut val_out: Vec<V> = Vec::with_capacity(self.len());
+        let mut buf: Vec<(u32, V)> = Vec::new();
+        for r in 0..self.rows {
+            buf.clear();
+            for &t in &order[counts[r]..counts[r + 1]] {
+                buf.push((self.col_idx[t], self.vals[t]));
+            }
+            buf.sort_unstable_by_key(|&(c, _)| c);
+            let mut j = 0;
+            while j < buf.len() {
+                let (c, mut v) = buf[j];
+                let mut k = j + 1;
+                while k < buf.len() && buf[k].0 == c {
+                    v += buf[k].1;
+                    k += 1;
+                }
+                col_out.push(c);
+                val_out.push(v);
+                j = k;
+            }
+            row_ptr.push(col_out.len());
+        }
+        Csr::from_parts_unchecked(self.rows, self.cols, row_ptr, col_out, val_out)
+    }
+
+    /// Iterator over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, V)> + '_ {
+        self.row_idx
+            .iter()
+            .zip(self.col_idx.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_csr_sorts_rows_and_columns() {
+        let mut coo: Coo<f64> = Coo::new(3, 3);
+        coo.push(2, 1, 4.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(0, 0, 1.0);
+        let csr = coo.to_csr();
+        csr.validate().unwrap();
+        assert_eq!(csr.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(csr.row(1), (&[][..], &[][..]));
+        assert_eq!(csr.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo: Coo<f64> = Coo::new(1, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(0, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row(0), (&[0u32, 1][..], &[-1.0, 3.5][..]));
+    }
+
+    #[test]
+    fn empty_coo_yields_empty_csr() {
+        let coo: Coo<f64> = Coo::new(4, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        csr.validate().unwrap();
+    }
+
+    #[test]
+    fn iter_reports_pushed_triplets() {
+        let mut coo: Coo<f64> = Coo::new(2, 2);
+        coo.push(1, 0, 9.0);
+        let all: Vec<_> = coo.iter().collect();
+        assert_eq!(all, vec![(1, 0, 9.0)]);
+    }
+
+    #[test]
+    fn big_random_roundtrip_matches_manual_accumulation() {
+        use std::collections::BTreeMap;
+        // Deterministic pseudo-random triplets with duplicates.
+        let mut coo: Coo<f64> = Coo::new(17, 13);
+        let mut truth: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        let mut state = 12345u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((state >> 33) % 17) as u32;
+            let c = ((state >> 13) % 13) as u32;
+            let v = ((state % 100) as f64) - 50.0;
+            coo.push(r, c, v);
+            *truth.entry((r, c)).or_insert(0.0) += v;
+        }
+        let csr = coo.to_csr();
+        csr.validate().unwrap();
+        let mut seen = 0;
+        for (i, cols, vals) in csr.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                assert!((truth[&(i as u32, c)] - v).abs() < 1e-9);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, truth.len());
+    }
+}

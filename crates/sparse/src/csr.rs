@@ -1,0 +1,519 @@
+//! Compressed Sparse Row storage — the format every algorithm in this
+//! workspace consumes and produces, matching the paper's setting (§1).
+//!
+//! Invariants maintained by all constructors except
+//! [`Csr::from_parts_unchecked`]:
+//!
+//! 1. `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`, non-decreasing,
+//!    `row_ptr[rows] == col_idx.len() == vals.len()`.
+//! 2. every column index is `< cols`.
+//! 3. column indices are strictly increasing within each row (sorted CSR,
+//!    which the paper's output contract requires — KokkosKernels is called
+//!    out in §6 precisely for violating it).
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+use crate::scalar::{approx_eq, Scalar};
+
+/// A sparse matrix in Compressed Sparse Row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<V> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<V>,
+}
+
+impl<V: Scalar> Csr<V> {
+    /// Builds a CSR matrix and verifies all structural invariants.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Result<Self, SparseError> {
+        let m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix without validation.
+    ///
+    /// Intended for kernels that construct output they have already proven
+    /// well-formed; debug builds still assert the invariants.
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Self {
+        let m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        debug_assert!(m.validate().is_ok(), "from_parts_unchecked got invalid CSR");
+        m
+    }
+
+    /// Builds a CSR matrix that may have *unsorted* rows — the escape
+    /// hatch for methods that knowingly violate the CSR column-order
+    /// contract (the paper calls out KokkosKernels for this, §6). Offset
+    /// consistency is still asserted in debug builds; call
+    /// [`Csr::sort_rows`] to canonicalise.
+    pub fn from_parts_unsorted(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), vals.len());
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// An `rows x cols` matrix with no stored entries.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            vals: vec![V::one(); n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row-offsets array (`rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, row-major.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// All values, row-major.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Half-open index range of row `i` into [`Self::col_idx`]/[`Self::vals`].
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[V]) {
+        let r = self.row_range(i);
+        (&self.col_idx[r.clone()], &self.vals[r])
+    }
+
+    /// Value at `(row, col)`, or zero when not stored — O(log row_nnz).
+    pub fn get(&self, row: usize, col: usize) -> V {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&(col as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => V::zero(),
+        }
+    }
+
+    /// Iterator over `(row, cols, vals)` triples.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[u32], &[V])> {
+        (0..self.rows).map(move |i| {
+            let (c, v) = self.row(i);
+            (i, c, v)
+        })
+    }
+
+    /// Largest row length, or 0 for an empty matrix.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Mean row length.
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+
+    /// Number of intermediate products `|{(i,k,j) : A_ik != 0, B_kj != 0}|`
+    /// of `self * rhs` — the paper's primary workload-size measure.
+    pub fn products(&self, rhs: &Csr<V>) -> u64 {
+        let rhs_len: Vec<u64> = (0..rhs.rows).map(|k| rhs.row_nnz(k) as u64).collect();
+        self.col_idx.iter().map(|&k| rhs_len[k as usize]).sum()
+    }
+
+    /// Checks every structural invariant; see the module docs.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr length {} != rows+1 = {}",
+                self.row_ptr.len(),
+                self.rows + 1
+            )));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "row_ptr[0] must be 0".to_string(),
+            ));
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr[rows] = {} != nnz = {}",
+                self.row_ptr.last().unwrap(),
+                self.col_idx.len()
+            )));
+        }
+        if self.col_idx.len() != self.vals.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "col_idx length {} != vals length {}",
+                self.col_idx.len(),
+                self.vals.len()
+            )));
+        }
+        for i in 0..self.rows {
+            if self.row_ptr[i] > self.row_ptr[i + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row_ptr decreases at row {i}"
+                )));
+            }
+            let (cols, _) = self.row(i);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {i} has unsorted or duplicate columns ({} then {})",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= self.cols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {i} has column {last} >= cols {}",
+                        self.cols
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every row's column indices are strictly increasing.
+    pub fn is_sorted(&self) -> bool {
+        (0..self.rows).all(|i| self.row(i).0.windows(2).all(|w| w[0] < w[1]))
+    }
+
+    /// Sorts each row by column index, combining duplicate columns by
+    /// addition. Used to canonicalise kernel output that is produced
+    /// unsorted (e.g. the KokkosKernels-style baseline).
+    pub fn sort_rows(&mut self) {
+        let mut buf: Vec<(u32, V)> = Vec::new();
+        let mut new_cols = Vec::with_capacity(self.col_idx.len());
+        let mut new_vals = Vec::with_capacity(self.vals.len());
+        let mut new_ptr = Vec::with_capacity(self.rows + 1);
+        new_ptr.push(0usize);
+        for i in 0..self.rows {
+            let r = self.row_range(i);
+            buf.clear();
+            buf.extend(
+                self.col_idx[r.clone()]
+                    .iter()
+                    .copied()
+                    .zip(self.vals[r].iter().copied()),
+            );
+            buf.sort_unstable_by_key(|&(c, _)| c);
+            let mut j = 0;
+            while j < buf.len() {
+                let (c, mut v) = buf[j];
+                let mut k = j + 1;
+                while k < buf.len() && buf[k].0 == c {
+                    v += buf[k].1;
+                    k += 1;
+                }
+                new_cols.push(c);
+                new_vals.push(v);
+                j = k;
+            }
+            new_ptr.push(new_cols.len());
+        }
+        self.row_ptr = new_ptr;
+        self.col_idx = new_cols;
+        self.vals = new_vals;
+    }
+
+    /// Converts to coordinate (triplet) form.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut rows_v = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            rows_v.extend(std::iter::repeat_n(i as u32, self.row_nnz(i)));
+        }
+        Coo::from_triplets(
+            self.rows,
+            self.cols,
+            rows_v,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    /// True when both matrices have identical sparsity patterns.
+    pub fn pattern_eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
+    /// True when patterns match exactly and values match within tolerance.
+    pub fn approx_eq(&self, other: &Self, rtol: f64, atol: f64) -> bool {
+        self.pattern_eq(other)
+            && self
+                .vals
+                .iter()
+                .zip(other.vals.iter())
+                .all(|(&a, &b)| approx_eq(a, b, rtol, atol))
+    }
+
+    /// Drops entries whose absolute value is `<= threshold`, preserving
+    /// sortedness. Useful for generators that produce explicit zeros.
+    pub fn prune(&mut self, threshold: f64) {
+        let mut new_cols = Vec::with_capacity(self.col_idx.len());
+        let mut new_vals = Vec::with_capacity(self.vals.len());
+        let mut new_ptr = Vec::with_capacity(self.rows + 1);
+        new_ptr.push(0usize);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v.abs().to_f64() > threshold {
+                    new_cols.push(c);
+                    new_vals.push(v);
+                }
+            }
+            new_ptr.push(new_cols.len());
+        }
+        self.row_ptr = new_ptr;
+        self.col_idx = new_cols;
+        self.vals = new_vals;
+    }
+
+    /// Total bytes of the CSR arrays, the paper's memory-footprint unit.
+    pub fn size_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<V>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_shape_and_entries() {
+        let i: Csr<f64> = Csr::identity(4);
+        assert_eq!(i.rows(), 4);
+        assert_eq!(i.cols(), 4);
+        assert_eq!(i.nnz(), 4);
+        for r in 0..4 {
+            assert_eq!(i.row(r), (&[r as u32][..], &[1.0][..]));
+        }
+        i.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let e: Csr<f64> = Csr::empty(5, 7);
+        e.validate().unwrap();
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.max_row_nnz(), 0);
+    }
+
+    #[test]
+    fn row_access() {
+        let m = sample();
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_rows() {
+        let r = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(matches!(r, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_columns() {
+        let r = Csr::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_column() {
+        let r = Csr::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_row_ptr() {
+        let r = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1, 0], vec![1.0; 3]);
+        assert!(r.is_err());
+        let r = Csr::from_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0; 2]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn products_counts_intermediates() {
+        let m = sample();
+        // row0 references B-rows 0 (len 2) and 2 (len 2) -> 4
+        // row2 references B-rows 0 (len 2) and 1 (len 0) -> 2
+        assert_eq!(m.products(&m), 6);
+    }
+
+    #[test]
+    fn sort_rows_combines_duplicates() {
+        let mut m = Csr::from_parts_unsorted(
+            1,
+            4,
+            vec![0, 4],
+            vec![3, 1, 3, 0],
+            vec![1.0, 2.0, 5.0, 7.0],
+        );
+        m.sort_rows();
+        assert_eq!(m.row(0), (&[0u32, 1, 3][..], &[7.0, 2.0, 6.0][..]));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn prune_removes_small_entries() {
+        let mut m = sample();
+        m.prune(2.5);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn coo_roundtrip_preserves_matrix() {
+        let m = sample();
+        let back = m.to_coo().to_csr();
+        assert!(m.approx_eq(&back, 0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_detects_value_drift() {
+        let m = sample();
+        let mut n = m.clone();
+        assert!(m.approx_eq(&n, 1e-12, 0.0));
+        n.vals[0] += 1.0;
+        assert!(!m.approx_eq(&n, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn get_returns_stored_or_zero() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn avg_and_max_row_nnz() {
+        let m = sample();
+        assert_eq!(m.max_row_nnz(), 2);
+        assert!((m.avg_row_nnz() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    mod vals_mut_access {
+        use super::*;
+
+        #[test]
+        fn size_bytes_counts_all_arrays() {
+            let m = sample();
+            let expect = 4 * std::mem::size_of::<usize>()
+                + 4 * std::mem::size_of::<u32>()
+                + 4 * std::mem::size_of::<f64>();
+            assert_eq!(m.size_bytes(), expect);
+        }
+    }
+}

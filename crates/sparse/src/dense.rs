@@ -1,0 +1,139 @@
+//! Small dense matrices — used only by tests and validation as an oracle
+//! for the sparse kernels on tiny inputs.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix<V> {
+    rows: usize,
+    cols: usize,
+    data: Vec<V>,
+}
+
+impl<V: Scalar> DenseMatrix<V> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![V::zero(); rows * cols],
+        }
+    }
+
+    /// Builds from a row-major slice. Panics if the length mismatches.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<V>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> V {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut V {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Dense matrix product — the O(n^3) oracle.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "dense matmul shape mismatch");
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == V::zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    *out.get_mut(i, j) += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to CSR dropping exact zeros.
+    pub fn to_csr(&self) -> Csr<V> {
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0usize);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c);
+                if v != V::zero() {
+                    col_idx.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts_unchecked(self.rows, self.cols, row_ptr, col_idx, vals)
+    }
+
+    /// Converts a CSR matrix to dense form.
+    pub fn from_csr(m: &Csr<V>) -> Self {
+        let mut out = Self::zeros(m.rows(), m.cols());
+        for (r, cols, vals) in m.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                *out.get_mut(r, c as usize) = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::approx_eq;
+
+    #[test]
+    fn dense_matmul_known_product() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_row_major(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn csr_dense_roundtrip() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        let back = DenseMatrix::from_csr(&csr);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn dense_agrees_with_identity() {
+        let i: Csr<f64> = Csr::identity(3);
+        let d = DenseMatrix::from_csr(&i);
+        let sq = d.matmul(&d);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(approx_eq(sq.get(r, c), expect, 0.0, 0.0));
+            }
+        }
+    }
+}

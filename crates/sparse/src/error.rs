@@ -1,0 +1,94 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while constructing, converting or reading sparse matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// A structural invariant of a format was violated.
+    ///
+    /// Carries a human-readable description of the broken invariant.
+    InvalidStructure(String),
+    /// Dimension mismatch between operands of a matrix operation.
+    DimensionMismatch {
+        /// Textual description of the operation, e.g. `"spgemm"`.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand.
+        rhs: (usize, usize),
+    },
+    /// The parser could not understand a MatrixMarket or binary stream.
+    Parse {
+        /// 1-based line number where the failure occurred (0 for header).
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// An index would overflow the 32-bit column index space.
+    IndexOverflow(usize),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+            SparseError::IndexOverflow(v) => {
+                write!(f, "index {v} does not fit the 32-bit column index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SparseError {
+    fn from(e: io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spgemm") && s.contains("3x4") && s.contains("5x6"));
+
+        let e = SparseError::Parse {
+            line: 7,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        let e: SparseError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Banded matrices: short uniform rows with strong column locality,
+//! representative of the mesh/trace matrices in SuiteSparse
+//! (`hugebubbles`, `mario002`, road networks).
+
+use super::{finish, nz_value, rng};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// Generates an `n x n` banded matrix.
+///
+/// Each row holds entries at offsets `-half_band..=half_band` (clipped to
+/// the matrix), each kept with probability `fill`, plus the diagonal which
+/// is always present. `fill = 1.0` gives a full band of `2*half_band + 1`
+/// per row.
+pub fn banded(n: usize, half_band: usize, fill: f64, seed: u64) -> Csr<f64> {
+    assert!(n > 0, "banded: n must be positive");
+    assert!((0.0..=1.0).contains(&fill), "banded: fill must be in [0,1]");
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0usize);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_band);
+        let hi = (i + half_band).min(n - 1);
+        for j in lo..=hi {
+            if j == i || r.gen_bool(fill) {
+                col_idx.push(j as u32);
+                vals.push(nz_value(&mut r));
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    finish(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn full_band_has_uniform_interior_rows() {
+        let m = banded(100, 2, 1.0, 1);
+        m.validate().unwrap();
+        // Interior rows have exactly 5 entries.
+        for i in 2..98 {
+            assert_eq!(m.row_nnz(i), 5, "row {i}");
+        }
+        // Boundary rows are clipped.
+        assert_eq!(m.row_nnz(0), 3);
+        assert_eq!(m.row_nnz(99), 3);
+    }
+
+    #[test]
+    fn diagonal_always_present() {
+        let m = banded(50, 3, 0.0, 9);
+        for i in 0..50 {
+            let (cols, _) = m.row(i);
+            assert_eq!(cols, &[i as u32]);
+        }
+    }
+
+    #[test]
+    fn fill_probability_controls_density() {
+        let dense = banded(200, 4, 1.0, 2);
+        let sparse = banded(200, 4, 0.3, 2);
+        assert!(sparse.nnz() < dense.nnz());
+        // Low fill still keeps at least the diagonal.
+        assert!(sparse.nnz() >= 200);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = banded(64, 2, 0.5, 77);
+        let b = banded(64, 2, 0.5, 77);
+        assert!(a.approx_eq(&b, 0.0, 0.0));
+    }
+
+    #[test]
+    fn row_length_variance_is_low() {
+        let s = MatrixStats::of(&banded(500, 3, 1.0, 5));
+        // Uniform family: max is close to avg, the paper's "no binning" case.
+        assert!(s.max_row_nnz as f64 / s.avg_row_nnz < 1.5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Named stand-ins for the 11 "common matrices" of paper Table 4 / Fig. 8.
+//!
+//! Each stand-in reproduces the *shape* that made the original matrix
+//! interesting for SpGEMM — row-length distribution, column locality,
+//! compaction under squaring — at roughly 1/30–1/100 of the original size
+//! so the whole suite runs in seconds on a laptop. The paper's absolute
+//! sizes are recorded in EXPERIMENTS.md next to the stand-in sizes.
+
+use super::{banded, block_diagonal, poisson_3d, rectangular_lp, rmat};
+use crate::csr::Csr;
+use crate::transpose::transpose;
+
+/// How the paper multiplies a given matrix (§6: square matrices use `A·A`,
+/// rectangular ones use `A·Aᵀ`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MulOp {
+    /// `C = A·A`
+    Square,
+    /// `C = A·Aᵀ` with `Aᵀ` precomputed
+    TimesTranspose,
+}
+
+/// A named benchmark matrix with its multiplication mode.
+pub struct CommonMatrix {
+    /// Stand-in name, matching the paper's matrix name.
+    pub name: &'static str,
+    /// Which family it represents and why.
+    pub family: &'static str,
+    /// Multiplication mode used in the evaluation.
+    pub op: MulOp,
+    /// The matrix A.
+    pub a: Csr<f64>,
+}
+
+impl CommonMatrix {
+    /// Returns the `(A, B)` pair the evaluation multiplies.
+    pub fn pair(&self) -> (Csr<f64>, Csr<f64>) {
+        match self.op {
+            MulOp::Square => (self.a.clone(), self.a.clone()),
+            MulOp::TimesTranspose => (self.a.clone(), transpose(&self.a)),
+        }
+    }
+}
+
+/// Builds all 11 stand-ins in the paper's Table 4 order.
+pub fn common_matrices() -> Vec<CommonMatrix> {
+    vec![
+        CommonMatrix {
+            name: "webbase",
+            family: "web graph: power-law degrees, a few huge hub rows",
+            op: MulOp::Square,
+            a: rmat(13, 3, 0.57, 0.19, 0.19, 101),
+        },
+        CommonMatrix {
+            name: "hugebubbles",
+            family: "2D triangulation trace: ~3 NZ/row, banded with irregular boundaries",
+            op: MulOp::Square,
+            a: banded(40_000, 2, 0.55, 102),
+        },
+        CommonMatrix {
+            name: "mario002",
+            family: "mesh: short uniform rows, diagonal-ish locality",
+            op: MulOp::Square,
+            a: banded(16_384, 3, 0.7, 103),
+        },
+        CommonMatrix {
+            name: "stat96v2",
+            family: "stochastic LP: rectangular, medium rows in A, tiny rows in A^T",
+            op: MulOp::TimesTranspose,
+            a: rectangular_lp(1_000, 32_000, 90, 110, 104),
+        },
+        CommonMatrix {
+            name: "email-Enron",
+            family: "social graph: extreme degree skew",
+            op: MulOp::Square,
+            a: rmat(12, 11, 0.57, 0.19, 0.19, 105),
+        },
+        CommonMatrix {
+            name: "cage13",
+            family: "DNA electrophoresis: ~17 NZ/row, good locality",
+            op: MulOp::Square,
+            a: banded(12_000, 12, 0.65, 106),
+        },
+        CommonMatrix {
+            name: "144",
+            family: "3D FEM mesh: ~15 NZ/row, uniform",
+            op: MulOp::Square,
+            a: banded(10_000, 8, 0.85, 107),
+        },
+        CommonMatrix {
+            name: "poisson3Da",
+            family: "3D FEM Poisson: ~27 NZ/row, uniform",
+            op: MulOp::Square,
+            a: banded(6_000, 14, 0.9, 108),
+        },
+        CommonMatrix {
+            name: "QCD",
+            family: "lattice QCD operator: uniform block structure",
+            op: MulOp::Square,
+            a: block_diagonal(64, 48, 0.65, 109),
+        },
+        CommonMatrix {
+            name: "harbor",
+            family: "3D CFD: ~51 NZ/row, high compaction",
+            op: MulOp::Square,
+            a: banded(2_000, 25, 1.0, 110),
+        },
+        CommonMatrix {
+            name: "TSC_OPF",
+            family: "optimal power flow: few rows, very long dense rows",
+            op: MulOp::Square,
+            a: block_diagonal(6, 96, 1.0, 111),
+        },
+    ]
+}
+
+/// A tiny 3D Poisson matrix (used by examples and docs as a fast default).
+pub fn small_poisson() -> Csr<f64> {
+    poisson_3d(12, 12, 12, 0.0, 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::spgemm_seq;
+    use crate::stats::{MatrixStats, ProductStats};
+
+    #[test]
+    fn all_eleven_present_and_valid() {
+        let all = common_matrices();
+        assert_eq!(all.len(), 11);
+        for m in &all {
+            m.a.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+        let names: Vec<_> = all.iter().map(|m| m.name).collect();
+        assert_eq!(names[0], "webbase");
+        assert_eq!(names[10], "TSC_OPF");
+    }
+
+    #[test]
+    fn stat96v2_is_rectangular_and_multiplies_by_transpose() {
+        let all = common_matrices();
+        let s = all.iter().find(|m| m.name == "stat96v2").unwrap();
+        assert_eq!(s.op, MulOp::TimesTranspose);
+        assert!(s.a.cols() > 10 * s.a.rows());
+        let (a, b) = s.pair();
+        assert_eq!(a.cols(), b.rows());
+        assert_eq!(b.cols(), a.rows());
+    }
+
+    #[test]
+    fn power_law_standins_are_skewed_and_meshes_are_uniform() {
+        let all = common_matrices();
+        let skew = |name: &str| {
+            let m = &all.iter().find(|m| m.name == name).unwrap().a;
+            let s = MatrixStats::of(m);
+            s.max_row_nnz as f64 / s.avg_row_nnz.max(1e-12)
+        };
+        assert!(skew("email-Enron") > 10.0);
+        assert!(skew("webbase") > 10.0);
+        assert!(skew("hugebubbles") < 2.0);
+        assert!(skew("144") < 2.0);
+    }
+
+    #[test]
+    fn tsc_opf_has_highest_compaction() {
+        let all = common_matrices();
+        let compaction = |name: &str| {
+            let cm = all.iter().find(|m| m.name == name).unwrap();
+            let (a, b) = cm.pair();
+            let c = spgemm_seq(&a, &b);
+            ProductStats::of(&a, &b, &c).compaction
+        };
+        let tsc = compaction("TSC_OPF");
+        assert!(tsc > 50.0, "TSC_OPF compaction {tsc}");
+        assert!(tsc > compaction("hugebubbles"));
+        assert!(tsc > compaction("mario002"));
+    }
+
+    #[test]
+    fn sizes_are_laptop_scale() {
+        for m in common_matrices() {
+            let (a, b) = m.pair();
+            let prod = a.products(&b);
+            assert!(
+                prod < 30_000_000,
+                "{} has {prod} products (too slow for the suite)",
+                m.name
+            );
+            assert!(prod > 10_000, "{} has only {prod} products", m.name);
+        }
+    }
+}

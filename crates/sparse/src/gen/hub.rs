@@ -1,0 +1,76 @@
+//! Banded matrices with a few "hub" rows referencing rows spread across
+//! the whole matrix. Squaring one produces output where only the hub rows
+//! are long — the shape that exercises accumulator switching per *row*
+//! rather than per matrix (paper Fig. 12's x-axis is the longest row of C,
+//! everything else held comparable).
+
+use super::{finish, nz_value, rng, sample_distinct_cols};
+use crate::csr::Csr;
+
+/// Banded `n x n` matrix whose first `hubs` rows instead hold `refs`
+/// entries spread uniformly over all columns.
+///
+/// In `A·A`, a hub row's output covers roughly `refs * (2*half_band + 1)`
+/// columns while ordinary rows stay at `(2*half_band + 1)^2`, so the
+/// longest output row is tuned by `refs` at product cost only
+/// `refs * (2*half_band + 1)` per hub.
+pub fn with_hub_rows(n: usize, half_band: usize, hubs: usize, refs: usize, seed: u64) -> Csr<f64> {
+    assert!(hubs <= n, "with_hub_rows: more hubs than rows");
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut buf = Vec::new();
+    row_ptr.push(0usize);
+    for i in 0..n {
+        if i < hubs {
+            sample_distinct_cols(&mut r, n, refs, &mut buf);
+            for &c in &buf {
+                col_idx.push(c);
+                vals.push(nz_value(&mut r));
+            }
+        } else {
+            let lo = i.saturating_sub(half_band);
+            let hi = (i + half_band).min(n - 1);
+            for j in lo..=hi {
+                col_idx.push(j as u32);
+                vals.push(nz_value(&mut r));
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    finish(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::spgemm_seq;
+
+    #[test]
+    fn hub_rows_are_wide_in_the_square() {
+        let a = with_hub_rows(2000, 1, 4, 300, 9);
+        a.validate().unwrap();
+        let c = spgemm_seq(&a, &a);
+        let hub_len = c.row_nnz(0);
+        let normal_len = c.row_nnz(1000);
+        assert!(hub_len > 500, "hub output row {hub_len}");
+        assert!(normal_len <= 9, "ordinary row {normal_len}");
+    }
+
+    #[test]
+    fn refs_controls_longest_output_row() {
+        let short = with_hub_rows(2000, 1, 2, 100, 3);
+        let long = with_hub_rows(2000, 1, 2, 600, 3);
+        let cs = spgemm_seq(&short, &short);
+        let cl = spgemm_seq(&long, &long);
+        assert!(cl.max_row_nnz() > 3 * cs.max_row_nnz());
+    }
+
+    #[test]
+    fn products_stay_cheap() {
+        let a = with_hub_rows(4000, 1, 8, 2000, 5);
+        // hubs: 8 * 2000 * ~3; band: 4000 * 9 — well under a million.
+        assert!(a.products(&a) < 1_000_000);
+    }
+}

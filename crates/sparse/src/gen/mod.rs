@@ -1,0 +1,134 @@
+//! Synthetic matrix generators standing in for the SuiteSparse collection.
+//!
+//! The paper designs and evaluates spECK on all of SuiteSparse (§3, §6).
+//! That collection is not redistributable inside this repository, so we
+//! generate matrices from the structural families that dominate it, each
+//! with a deterministic seed:
+//!
+//! * [`banded()`] — banded systems (e.g. `hugebubbles`, `mario002`): short,
+//!   uniform rows with strong column locality.
+//! * [`stencil`] — 2D/3D Poisson/FEM stencils (`poisson3Da`, `144`):
+//!   uniform 5/7/27-point rows.
+//! * [`random`] — uniform random patterns: no locality, tunable row length.
+//! * [`powerlaw`] — R-MAT scale-free graphs (`email-Enron`, `webbase`):
+//!   heavy-tailed row lengths, the case that breaks fixed load balancing.
+//! * [`blockdiag`] — dense diagonal blocks (`TSC_OPF`, QCD lattices): very
+//!   high compaction, dense output rows.
+//! * [`rectangular`] — tall LP-style rectangular matrices (`stat96v2`):
+//!   medium rows in A but very short rows in Aᵀ.
+//! * [`common`] — named, scaled stand-ins for the 11 matrices of paper
+//!   Table 4 / Fig. 8.
+
+pub mod banded;
+pub mod blockdiag;
+pub mod hub;
+pub mod common;
+pub mod powerlaw;
+pub mod random;
+pub mod rectangular;
+pub mod stencil;
+
+pub use banded::banded;
+pub use blockdiag::block_diagonal;
+pub use hub::with_hub_rows;
+pub use common::{common_matrices, CommonMatrix};
+pub use powerlaw::rmat;
+pub use random::uniform_random;
+pub use rectangular::rectangular_lp;
+pub use stencil::{poisson_2d, poisson_3d};
+
+use crate::csr::Csr;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG shared by all generators.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random nonzero value in `[-1, 1] \ {0}` — generators avoid exact zeros so
+/// structural and numeric nnz coincide.
+pub(crate) fn nz_value(rng: &mut StdRng) -> f64 {
+    let u = Uniform::new(-1.0f64, 1.0);
+    loop {
+        let v = u.sample(rng);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Samples `k` distinct column indices from `[0, cols)` into `buf` (sorted).
+///
+/// Uses Floyd's algorithm, O(k) expected, so long rows stay cheap.
+pub(crate) fn sample_distinct_cols(rng: &mut StdRng, cols: usize, k: usize, buf: &mut Vec<u32>) {
+    buf.clear();
+    let k = k.min(cols);
+    if k == 0 {
+        return;
+    }
+    // Floyd's sampling: for j in cols-k..cols, pick t in [0, j]; insert t or j.
+    let mut set = std::collections::HashSet::with_capacity(k * 2);
+    for j in (cols - k)..cols {
+        let t = rng.gen_range(0..=j);
+        if !set.insert(t as u32) {
+            set.insert(j as u32);
+        }
+    }
+    buf.extend(set);
+    buf.sort_unstable();
+}
+
+/// Asserts a generated matrix is structurally valid in debug builds and
+/// returns it. All generators funnel their output through this.
+pub(crate) fn finish(m: Csr<f64>) -> Csr<f64> {
+    debug_assert!(m.validate().is_ok(), "generator produced invalid CSR");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_distinct_is_sorted_and_unique() {
+        let mut r = rng(7);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            sample_distinct_cols(&mut r, 100, 12, &mut buf);
+            assert_eq!(buf.len(), 12);
+            assert!(buf.windows(2).all(|w| w[0] < w[1]));
+            assert!(buf.iter().all(|&c| c < 100));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_clamps_to_cols() {
+        let mut r = rng(7);
+        let mut buf = Vec::new();
+        sample_distinct_cols(&mut r, 5, 10, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = rng(42);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rng(42);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nz_value_never_zero() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert_ne!(nz_value(&mut r), 0.0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! R-MAT (recursive matrix) generator producing scale-free graphs with
+//! heavy-tailed degree distributions — the social/web-graph family
+//! (`email-Enron`, `webbase`, `wiki-Vote`) whose skew defeats fixed
+//! per-row thread assignment (paper §3.2).
+
+use super::{finish, nz_value, rng};
+use crate::coo::Coo;
+use crate::csr::Csr;
+use rand::Rng;
+
+/// Generates a `2^scale x 2^scale` R-MAT graph with `edge_factor * 2^scale`
+/// sampled edges (duplicates are merged, so the final nnz is slightly
+/// lower). The partition probabilities `(a, b, c)` follow the Graph500
+/// convention with `d = 1 - a - b - c`; the default skew `(0.57, 0.19,
+/// 0.19)` yields strongly power-law degrees.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> Csr<f64> {
+    assert!(scale <= 26, "rmat: scale too large for u32 indices");
+    let d = 1.0 - a - b - c;
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && d > 0.0,
+        "rmat: probabilities must form a distribution"
+    );
+    let n = 1usize << scale;
+    let edges = edge_factor * n;
+    let mut r = rng(seed);
+    let mut coo: Coo<f64> = Coo::new(n, n);
+    for _ in 0..edges {
+        let (mut row, mut col) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let bit = 1usize << level;
+            let p: f64 = r.gen();
+            if p < a {
+                // upper-left: nothing set
+            } else if p < a + b {
+                col |= bit;
+            } else if p < a + b + c {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        coo.push(row as u32, col as u32, nz_value(&mut r));
+    }
+    finish(coo.to_csr())
+}
+
+/// Convenience wrapper with Graph500 default skew.
+pub fn rmat_default(scale: u32, edge_factor: usize, seed: u64) -> Csr<f64> {
+    rmat(scale, edge_factor, 0.57, 0.19, 0.19, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = rmat_default(8, 8, 42);
+        let b = rmat_default(8, 8, 42);
+        a.validate().unwrap();
+        assert_eq!(a.rows(), 256);
+        assert!(a.approx_eq(&b, 0.0, 0.0));
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let m = rmat_default(10, 16, 7);
+        let s = MatrixStats::of(&m);
+        // Skewed generator: max degree far above the mean — the paper's
+        // "load balancer pays off" regime (m_max/m_avg >> threshold).
+        assert!(
+            s.max_row_nnz as f64 > 8.0 * s.avg_row_nnz,
+            "max={} avg={}",
+            s.max_row_nnz,
+            s.avg_row_nnz
+        );
+    }
+
+    #[test]
+    fn uniform_probabilities_flatten_degrees() {
+        let m = rmat(10, 8, 0.25, 0.25, 0.25, 7);
+        let s = MatrixStats::of(&m);
+        let skewed = MatrixStats::of(&rmat_default(10, 8, 7));
+        assert!(s.max_row_nnz < skewed.max_row_nnz);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let m = rmat_default(6, 32, 3);
+        // 32*64 = 2048 samples into a 64x64 grid must collide.
+        assert!(m.nnz() < 2048);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn rejects_bad_probabilities() {
+        let _ = rmat(5, 4, 0.8, 0.3, 0.3, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Uniform random sparse matrices: no column locality, geometric-ish row
+//! lengths around a target mean — the "unstructured" end of SuiteSparse.
+
+use super::{finish, nz_value, rng, sample_distinct_cols};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// Generates a `rows x cols` matrix whose row lengths are drawn uniformly
+/// from `[min_row_nnz, max_row_nnz]` with columns sampled without
+/// replacement uniformly over `[0, cols)`.
+pub fn uniform_random(
+    rows: usize,
+    cols: usize,
+    min_row_nnz: usize,
+    max_row_nnz: usize,
+    seed: u64,
+) -> Csr<f64> {
+    assert!(min_row_nnz <= max_row_nnz, "uniform_random: bad row bounds");
+    assert!(cols > 0, "uniform_random: cols must be positive");
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut buf = Vec::new();
+    row_ptr.push(0usize);
+    for _ in 0..rows {
+        let k = r.gen_range(min_row_nnz..=max_row_nnz).min(cols);
+        sample_distinct_cols(&mut r, cols, k, &mut buf);
+        for &c in &buf {
+            col_idx.push(c);
+            vals.push(nz_value(&mut r));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    finish(Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn row_lengths_respect_bounds() {
+        let m = uniform_random(200, 500, 3, 9, 11);
+        m.validate().unwrap();
+        for i in 0..m.rows() {
+            let n = m.row_nnz(i);
+            assert!((3..=9).contains(&n), "row {i} has {n}");
+        }
+    }
+
+    #[test]
+    fn fixed_length_rows_when_bounds_equal() {
+        let m = uniform_random(50, 100, 4, 4, 3);
+        for i in 0..50 {
+            assert_eq!(m.row_nnz(i), 4);
+        }
+    }
+
+    #[test]
+    fn row_length_clamped_to_cols() {
+        let m = uniform_random(10, 3, 5, 8, 3);
+        for i in 0..10 {
+            assert_eq!(m.row_nnz(i), 3);
+        }
+    }
+
+    #[test]
+    fn mean_row_length_near_midpoint() {
+        let s = MatrixStats::of(&uniform_random(2000, 10_000, 2, 10, 5));
+        assert!((s.avg_row_nnz - 6.0).abs() < 0.5, "avg={}", s.avg_row_nnz);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = uniform_random(64, 64, 1, 5, 123);
+        let b = uniform_random(64, 64, 1, 5, 123);
+        assert!(a.approx_eq(&b, 0.0, 0.0));
+    }
+}

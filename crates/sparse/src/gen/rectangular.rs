@@ -1,0 +1,87 @@
+//! Tall rectangular LP-style matrices (`stat96v2`): medium-length rows in A
+//! but, crucially, very short rows in Aᵀ. The paper uses this family to
+//! show why a fixed 32-threads-per-row local balancer wastes >90 % of its
+//! threads (§6.2).
+
+use super::{finish, nz_value, rng, sample_distinct_cols};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// Generates a `rows x cols` matrix (typically `cols >> rows`) whose rows
+/// have `row_nnz_lo..=row_nnz_hi` entries with mild left-to-right banding
+/// so columns are reused across nearby rows — the staircase structure of
+/// staged stochastic LPs.
+pub fn rectangular_lp(
+    rows: usize,
+    cols: usize,
+    row_nnz_lo: usize,
+    row_nnz_hi: usize,
+    seed: u64,
+) -> Csr<f64> {
+    assert!(rows > 0 && cols > 0);
+    assert!(row_nnz_lo <= row_nnz_hi);
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut buf = Vec::new();
+    row_ptr.push(0usize);
+    // Window of columns roughly 4x wider than a row's entries, sliding with
+    // the row index (staircase pattern).
+    for i in 0..rows {
+        let k = r.gen_range(row_nnz_lo..=row_nnz_hi).min(cols);
+        let window = (k * 4).max(8).min(cols);
+        let start = if rows > 1 {
+            ((i as f64 / (rows - 1) as f64) * (cols - window) as f64) as usize
+        } else {
+            0
+        };
+        sample_distinct_cols(&mut r, window, k, &mut buf);
+        for &c in &buf {
+            col_idx.push(c + start as u32);
+            vals.push(nz_value(&mut r));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    finish(Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+    use crate::transpose::transpose;
+
+    #[test]
+    fn shape_and_validity() {
+        let m = rectangular_lp(100, 3000, 20, 40, 4);
+        m.validate().unwrap();
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.cols(), 3000);
+    }
+
+    #[test]
+    fn transpose_has_short_rows() {
+        let m = rectangular_lp(200, 8000, 30, 60, 4);
+        let t = transpose(&m);
+        let st = MatrixStats::of(&t);
+        let sm = MatrixStats::of(&m);
+        // A has medium rows, Aᵀ has very short rows — the stat96v2 shape.
+        assert!(sm.avg_row_nnz > 10.0 * st.avg_row_nnz.max(1e-9));
+    }
+
+    #[test]
+    fn staircase_moves_rightward() {
+        let m = rectangular_lp(50, 5000, 10, 10, 8);
+        let first_row_max = *m.row(0).0.iter().max().unwrap();
+        let last_row_min = *m.row(49).0.iter().min().unwrap();
+        assert!(last_row_min > first_row_max);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = rectangular_lp(30, 100, 2, 6, 1);
+        let b = rectangular_lp(30, 100, 2, 6, 1);
+        assert!(a.approx_eq(&b, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Finite-difference stencil matrices on regular grids — the FEM/PDE family
+//! (`poisson3Da`, `144`, `cage13`-like locality) of SuiteSparse.
+
+use super::{finish, nz_value, rng};
+use crate::csr::Csr;
+
+/// 5-point Laplacian stencil on an `nx x ny` grid (matrix is `nx*ny` square).
+///
+/// Diagonal entries are 4, neighbours -1, with optional value jitter so the
+/// numeric path is exercised (jitter 0.0 reproduces the textbook stencil).
+pub fn poisson_2d(nx: usize, ny: usize, jitter: f64, seed: u64) -> Csr<f64> {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0usize);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut push = |c: u32, v: f64| {
+                col_idx.push(c);
+                vals.push(v + jitter * nz_value(&mut r));
+            };
+            if y > 0 {
+                push(idx(x, y - 1), -1.0);
+            }
+            if x > 0 {
+                push(idx(x - 1, y), -1.0);
+            }
+            push(idx(x, y), 4.0);
+            if x + 1 < nx {
+                push(idx(x + 1, y), -1.0);
+            }
+            if y + 1 < ny {
+                push(idx(x, y + 1), -1.0);
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+    finish(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+/// 7-point Laplacian stencil on an `nx x ny x nz` grid.
+pub fn poisson_3d(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u64) -> Csr<f64> {
+    assert!(nx > 0 && ny > 0 && nz > 0);
+    let n = nx * ny * nz;
+    let mut r = rng(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0usize);
+    let idx = |x: usize, y: usize, z: usize| (z * nx * ny + y * nx + x) as u32;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut push = |c: u32, v: f64| {
+                    col_idx.push(c);
+                    vals.push(v + jitter * nz_value(&mut r));
+                };
+                if z > 0 {
+                    push(idx(x, y, z - 1), -1.0);
+                }
+                if y > 0 {
+                    push(idx(x, y - 1, z), -1.0);
+                }
+                if x > 0 {
+                    push(idx(x - 1, y, z), -1.0);
+                }
+                push(idx(x, y, z), 6.0);
+                if x + 1 < nx {
+                    push(idx(x + 1, y, z), -1.0);
+                }
+                if y + 1 < ny {
+                    push(idx(x, y + 1, z), -1.0);
+                }
+                if z + 1 < nz {
+                    push(idx(x, y, z + 1), -1.0);
+                }
+                row_ptr.push(col_idx.len());
+            }
+        }
+    }
+    finish(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_2d_interior_rows_have_five_points() {
+        let m = poisson_2d(10, 10, 0.0, 0);
+        m.validate().unwrap();
+        // Interior point (5,5) = row 55.
+        assert_eq!(m.row_nnz(55), 5);
+        // Corner has 3.
+        assert_eq!(m.row_nnz(0), 3);
+        assert_eq!(m.nnz(), 5 * 100 - 4 * 10); // 5N - 2*(nx+ny) boundary losses
+    }
+
+    #[test]
+    fn poisson_2d_is_symmetric_without_jitter() {
+        let m = poisson_2d(6, 7, 0.0, 0);
+        let t = crate::transpose::transpose(&m);
+        assert!(m.approx_eq(&t, 0.0, 0.0));
+    }
+
+    #[test]
+    fn poisson_3d_interior_rows_have_seven_points() {
+        let m = poisson_3d(5, 5, 5, 0.0, 0);
+        m.validate().unwrap();
+        // Center point (2,2,2) = 2*25 + 2*5 + 2 = 62.
+        assert_eq!(m.row_nnz(62), 7);
+        assert_eq!(m.rows(), 125);
+    }
+
+    #[test]
+    fn jitter_perturbs_values_not_pattern() {
+        let a = poisson_2d(8, 8, 0.0, 1);
+        let b = poisson_2d(8, 8, 0.01, 1);
+        assert!(a.pattern_eq(&b));
+        assert!(!a.approx_eq(&b, 0.0, 0.0));
+    }
+
+    #[test]
+    fn row_sums_are_nonnegative_diagonally_dominant() {
+        let m = poisson_2d(12, 12, 0.0, 0);
+        for (_, _, vals) in m.iter_rows() {
+            let sum: f64 = vals.iter().sum();
+            assert!(sum >= 0.0);
+        }
+    }
+}

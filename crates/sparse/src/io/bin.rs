@@ -1,0 +1,175 @@
+//! Fast binary CSR serialisation.
+//!
+//! The spECK artifact converts `.mtx` files into a binary ".hicsr" cache so
+//! repeated benchmark runs skip text parsing; this module provides the same
+//! convenience. Layout (all little-endian):
+//!
+//! ```text
+//! magic  u64   0x4853_4352_5350_4B31 ("HSCRSPK1"-ish tag)
+//! rows   u64
+//! cols   u64
+//! nnz    u64
+//! vbytes u64   bytes per value (4 or 8)
+//! row_ptr: (rows+1) x u64
+//! col_idx: nnz x u32
+//! vals:    nnz x f32|f64
+//! ```
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u64 = 0x4853_4352_5350_4B31;
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a matrix in the binary format.
+pub fn write_bin_csr<V: Scalar, W: Write>(m: &Csr<V>, mut w: W) -> Result<(), SparseError> {
+    write_u64(&mut w, MAGIC)?;
+    write_u64(&mut w, m.rows() as u64)?;
+    write_u64(&mut w, m.cols() as u64)?;
+    write_u64(&mut w, m.nnz() as u64)?;
+    write_u64(&mut w, std::mem::size_of::<V>() as u64)?;
+    for &p in m.row_ptr() {
+        write_u64(&mut w, p as u64)?;
+    }
+    for &c in m.col_idx() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    for &v in m.vals() {
+        let f = v.to_f64();
+        if std::mem::size_of::<V>() == 4 {
+            w.write_all(&(f as f32).to_le_bytes())?;
+        } else {
+            w.write_all(&f.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a matrix from the binary format.
+pub fn read_bin_csr<V: Scalar, R: Read>(mut r: R) -> Result<Csr<V>, SparseError> {
+    let parse = |msg: &str| SparseError::Parse {
+        line: 0,
+        msg: msg.to_string(),
+    };
+    if read_u64(&mut r)? != MAGIC {
+        return Err(parse("bad magic"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    let vbytes = read_u64(&mut r)? as usize;
+    if vbytes != std::mem::size_of::<V>() {
+        return Err(parse(&format!(
+            "value width mismatch: file has {vbytes} bytes, requested {}",
+            std::mem::size_of::<V>()
+        )));
+    }
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    for _ in 0..=rows {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut b4 = [0u8; 4];
+    for _ in 0..nnz {
+        r.read_exact(&mut b4)?;
+        col_idx.push(u32::from_le_bytes(b4));
+    }
+    let mut vals = Vec::with_capacity(nnz);
+    if vbytes == 4 {
+        for _ in 0..nnz {
+            r.read_exact(&mut b4)?;
+            vals.push(V::from_f64(f32::from_le_bytes(b4) as f64));
+        }
+    } else {
+        let mut b8 = [0u8; 8];
+        for _ in 0..nnz {
+            r.read_exact(&mut b8)?;
+            vals.push(V::from_f64(f64::from_le_bytes(b8)));
+        }
+    }
+    Csr::from_parts(rows, cols, row_ptr, col_idx, vals)
+}
+
+/// Writes a matrix to a binary file on disk.
+pub fn write_bin_csr_file<V: Scalar>(m: &Csr<V>, path: &Path) -> Result<(), SparseError> {
+    let f = std::fs::File::create(path)?;
+    write_bin_csr(m, std::io::BufWriter::new(f))
+}
+
+/// Reads a matrix from a binary file on disk.
+pub fn read_bin_csr_file<V: Scalar>(path: &Path) -> Result<Csr<V>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_bin_csr(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![0, 3, 1, 2, 3],
+            vec![1.5, -2.0, 0.25, 7.0, 1e-30],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_f64_is_exact() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_bin_csr(&m, &mut buf).unwrap();
+        let back: Csr<f64> = read_bin_csr(buf.as_slice()).unwrap();
+        assert!(m.approx_eq(&back, 0.0, 0.0));
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let m = Csr::<f32>::identity(5);
+        let mut buf = Vec::new();
+        write_bin_csr(&m, &mut buf).unwrap();
+        let back: Csr<f32> = read_bin_csr(buf.as_slice()).unwrap();
+        assert!(m.approx_eq(&back, 0.0, 0.0));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let m = Csr::<f32>::identity(2);
+        let mut buf = Vec::new();
+        write_bin_csr(&m, &mut buf).unwrap();
+        assert!(read_bin_csr::<f64, _>(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 64];
+        assert!(read_bin_csr::<f64, _>(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_bin_csr(&m, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(
+            read_bin_csr::<f64, _>(buf.as_slice()),
+            Err(SparseError::Io(_))
+        ));
+    }
+}

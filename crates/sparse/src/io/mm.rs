@@ -1,0 +1,294 @@
+//! MatrixMarket (.mtx) reader/writer.
+//!
+//! Supports the `matrix coordinate` object with `real`, `integer` and
+//! `pattern` fields and `general`, `symmetric` and `skew-symmetric`
+//! symmetries — enough to load any SuiteSparse download, which is how real
+//! matrices are fed into the benchmark harness in place of the synthetic
+//! corpus.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Value field declared in the MatrixMarket header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared in the MatrixMarket header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+fn parse_header(line: &str) -> Result<(Field, Symmetry), SparseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let err = |msg: &str| SparseError::Parse {
+        line: 1,
+        msg: msg.to_string(),
+    };
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(err("missing %%MatrixMarket banner"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(err("only 'matrix coordinate' objects are supported"));
+    }
+    let field = match toks[3].to_ascii_lowercase().as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(err(&format!("unsupported field '{other}'")));
+        }
+    };
+    let symmetry = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(err(&format!("unsupported symmetry '{other}'")));
+        }
+    };
+    Ok((field, symmetry))
+}
+
+/// Reads a MatrixMarket stream into CSR form.
+pub fn read_matrix_market<V: Scalar, R: Read>(reader: R) -> Result<Csr<V>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse {
+            line: 1,
+            msg: "empty file".to_string(),
+        })??;
+    let (field, symmetry) = parse_header(&header)?;
+
+    // Skip comments, find the size line.
+    let mut line_no = 1usize;
+    let size_line = loop {
+        let line = lines.next().ok_or_else(|| SparseError::Parse {
+            line: line_no,
+            msg: "missing size line".to_string(),
+        })??;
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("size line must have 3 fields, got {}", dims.len()),
+        });
+    }
+    let parse_usize = |s: &str, ln: usize| {
+        s.parse::<usize>().map_err(|_| SparseError::Parse {
+            line: ln,
+            msg: format!("bad integer '{s}'"),
+        })
+    };
+    let rows = parse_usize(dims[0], line_no)?;
+    let cols = parse_usize(dims[1], line_no)?;
+    let nnz = parse_usize(dims[2], line_no)?;
+    if rows > u32::MAX as usize || cols > u32::MAX as usize {
+        return Err(SparseError::IndexOverflow(rows.max(cols)));
+    }
+
+    let mut coo: Coo<V> = Coo::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r = parse_usize(
+            it.next().ok_or_else(|| SparseError::Parse {
+                line: line_no,
+                msg: "missing row index".into(),
+            })?,
+            line_no,
+        )?;
+        let c = parse_usize(
+            it.next().ok_or_else(|| SparseError::Parse {
+                line: line_no,
+                msg: "missing column index".into(),
+            })?,
+            line_no,
+        )?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: format!("index ({r},{c}) out of 1-based range {rows}x{cols}"),
+            });
+        }
+        let v: V = match field {
+            Field::Pattern => V::one(),
+            Field::Real | Field::Integer => {
+                let tok = it.next().ok_or_else(|| SparseError::Parse {
+                    line: line_no,
+                    msg: "missing value".into(),
+                })?;
+                let f: f64 = tok.parse().map_err(|_| SparseError::Parse {
+                    line: line_no,
+                    msg: format!("bad value '{tok}'"),
+                })?;
+                V::from_f64(f)
+            }
+        };
+        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        coo.push(r0, c0, v);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r0 != c0 {
+                    coo.push(c0, r0, v);
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r0 != c0 {
+                    coo.push(c0, r0, -v);
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("header declared {nnz} entries but file has {seen}"),
+        });
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a `.mtx` file from disk.
+pub fn read_matrix_market_file<V: Scalar>(path: &Path) -> Result<Csr<V>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a matrix in `matrix coordinate real general` form.
+pub fn write_matrix_market<V: Scalar, W: Write>(m: &Csr<V>, mut w: W) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by speck-sparse")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, cols, vals) in m.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v.to_f64())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+                          % a comment\n\
+                          3 3 4\n\
+                          1 1 1.0\n\
+                          1 3 2.0\n\
+                          3 1 3.0\n\
+                          3 2 4.0\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m: Csr<f64> = read_matrix_market(SIMPLE.as_bytes()).unwrap();
+        m.validate().unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn reads_symmetric_expanding_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 5.0\n\
+                    2 1 7.0\n";
+        let m: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0), (&[0u32, 1][..], &[5.0, 7.0][..]));
+        assert_eq!(m.row(1), (&[0u32][..], &[7.0][..]));
+    }
+
+    #[test]
+    fn reads_skew_symmetric_with_negation() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let m: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.row(0), (&[1u32][..], &[-3.0][..]));
+        assert_eq!(m.row(1), (&[0u32][..], &[3.0][..]));
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let m: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.vals(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        let text = "%%NotMatrixMarket nothing\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_field() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m: Csr<f64> = read_matrix_market(SIMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: Csr<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert!(m.approx_eq(&back, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    1 1 2\n\
+                    1 1 1.0\n\
+                    1 1 2.0\n";
+        let m: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.vals()[0], 3.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Matrix I/O: the MatrixMarket exchange format ([`mm`]) used by the
+//! SuiteSparse collection, and a fast binary CSR format ([`bin`]) mirroring
+//! the spECK artifact's ".hicsr" cache files.
+
+pub mod bin;
+pub mod mm;

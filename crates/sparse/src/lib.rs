@@ -1,0 +1,39 @@
+//! Sparse-matrix substrate for the spECK reproduction.
+//!
+//! This crate provides everything the SpGEMM algorithms need that is *not*
+//! part of the paper's contribution: storage formats ([`Csr`], [`Coo`]),
+//! MatrixMarket and binary I/O, synthetic matrix generators standing in for
+//! the SuiteSparse collection, matrix statistics, and a sequential reference
+//! SpGEMM used as the gold standard by every test in the workspace.
+//!
+//! # Quick start
+//!
+//! ```
+//! use speck_sparse::{Csr, reference};
+//!
+//! // 2x2 identity times itself.
+//! let a: Csr<f64> = Csr::identity(2);
+//! let c = reference::spgemm_seq(&a, &a);
+//! assert_eq!(c.nnz(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod reference;
+pub mod scalar;
+pub mod stats;
+pub mod transpose;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use scalar::Scalar;
+pub use stats::MatrixStats;

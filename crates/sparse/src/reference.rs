@@ -1,0 +1,246 @@
+//! Reference SpGEMM implementations.
+//!
+//! [`spgemm_seq`] is the sequential Gustavson algorithm every kernel in the
+//! workspace is validated against. [`spgemm_cpu_parallel`] is the
+//! rayon-parallel variant that doubles as the "Intel MKL"-style CPU
+//! comparator in the paper's evaluation (§6): a well-implemented multicore
+//! CPU SpGEMM with no device-launch overhead.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Checks that `a * b` is dimensionally valid.
+fn check_dims<V: Scalar>(a: &Csr<V>, b: &Csr<V>) -> Result<(), SparseError> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (a.rows(), a.cols()),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Gustavson's row-wise SpGEMM with a dense accumulator ("SPA").
+///
+/// O(products) time, O(cols(B)) scratch. Deterministic: accumulation order
+/// within a row follows the order of A's column indices, so results are
+/// bit-stable across runs.
+pub fn spgemm_seq<V: Scalar>(a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
+    try_spgemm_seq(a, b).expect("spgemm_seq: dimension mismatch")
+}
+
+/// Fallible variant of [`spgemm_seq`].
+pub fn try_spgemm_seq<V: Scalar>(a: &Csr<V>, b: &Csr<V>) -> Result<Csr<V>, SparseError> {
+    check_dims(a, b)?;
+    let n_cols = b.cols();
+    let mut accumulator: Vec<V> = vec![V::zero(); n_cols];
+    let mut occupied: Vec<bool> = vec![false; n_cols];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut vals: Vec<V> = Vec::new();
+
+    for i in 0..a.rows() {
+        let (a_cols, a_vals) = a.row(i);
+        touched.clear();
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                let j_us = j as usize;
+                if !occupied[j_us] {
+                    occupied[j_us] = true;
+                    accumulator[j_us] = V::zero();
+                    touched.push(j);
+                }
+                accumulator[j_us] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            col_idx.push(j);
+            vals.push(accumulator[j as usize]);
+            occupied[j as usize] = false;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Csr::from_parts_unchecked(
+        a.rows(),
+        n_cols,
+        row_ptr,
+        col_idx,
+        vals,
+    ))
+}
+
+/// Symbolic-only reference: the number of non-zeros in each row of `a * b`.
+pub fn spgemm_row_nnz<V: Scalar>(a: &Csr<V>, b: &Csr<V>) -> Vec<usize> {
+    check_dims(a, b).expect("spgemm_row_nnz: dimension mismatch");
+    let n_cols = b.cols();
+    let mut occupied = vec![false; n_cols];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut out = Vec::with_capacity(a.rows());
+    for i in 0..a.rows() {
+        touched.clear();
+        let (a_cols, _) = a.row(i);
+        for &k in a_cols {
+            let (b_cols, _) = b.row(k as usize);
+            for &j in b_cols {
+                if !occupied[j as usize] {
+                    occupied[j as usize] = true;
+                    touched.push(j);
+                }
+            }
+        }
+        out.push(touched.len());
+        for &j in &touched {
+            occupied[j as usize] = false;
+        }
+    }
+    out
+}
+
+/// Rayon-parallel Gustavson SpGEMM (row-partitioned).
+///
+/// Each worker owns a private dense accumulator; per-row outputs are
+/// gathered and spliced. This is the "MKL"-style CPU baseline.
+pub fn spgemm_cpu_parallel<V: Scalar>(a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
+    check_dims(a, b).expect("spgemm_cpu_parallel: dimension mismatch");
+    let n_cols = b.cols();
+
+    // Phase 1: per-row results, computed independently.
+    let rows: Vec<(Vec<u32>, Vec<V>)> = (0..a.rows())
+        .into_par_iter()
+        .map_init(
+            || (vec![V::zero(); n_cols], vec![false; n_cols], Vec::new()),
+            |(acc, occ, touched): &mut (Vec<V>, Vec<bool>, Vec<u32>), i| {
+                touched.clear();
+                let (a_cols, a_vals) = a.row(i);
+                for (&k, &av) in a_cols.iter().zip(a_vals) {
+                    let (b_cols, b_vals) = b.row(k as usize);
+                    for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                        let j_us = j as usize;
+                        if !occ[j_us] {
+                            occ[j_us] = true;
+                            acc[j_us] = V::zero();
+                            touched.push(j);
+                        }
+                        acc[j_us] += av * bv;
+                    }
+                }
+                touched.sort_unstable();
+                let cols: Vec<u32> = touched.clone();
+                let vals: Vec<V> = touched.iter().map(|&j| acc[j as usize]).collect();
+                for &j in touched.iter() {
+                    occ[j as usize] = false;
+                }
+                (cols, vals)
+            },
+        )
+        .collect();
+
+    // Phase 2: splice.
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let total: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut col_idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (c, v) in rows {
+        col_idx.extend_from_slice(&c);
+        vals.extend_from_slice(&v);
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts_unchecked(a.rows(), n_cols, row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn sample_pair() -> (Csr<f64>, Csr<f64>) {
+        let a = Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 1, 2, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        let b = Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 3, 5],
+            vec![0, 3, 1, 0, 2],
+            vec![1.0, 1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn seq_matches_dense_oracle() {
+        let (a, b) = sample_pair();
+        let c = spgemm_seq(&a, &b);
+        c.validate().unwrap();
+        let oracle = DenseMatrix::from_csr(&a).matmul(&DenseMatrix::from_csr(&b));
+        assert!(c.approx_eq(&oracle.to_csr(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (a, _) = sample_pair();
+        let i = Csr::identity(3);
+        assert!(spgemm_seq(&a, &i).approx_eq(&a, 0.0, 0.0));
+        assert!(spgemm_seq(&i, &a).approx_eq(&a, 0.0, 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a: Csr<f64> = Csr::identity(3);
+        let b: Csr<f64> = Csr::identity(4);
+        assert!(try_spgemm_seq(&a, &b).is_err());
+    }
+
+    #[test]
+    fn row_nnz_matches_full_product() {
+        let (a, b) = sample_pair();
+        let c = spgemm_seq(&a, &b);
+        let nnz = spgemm_row_nnz(&a, &b);
+        for (i, &n) in nnz.iter().enumerate() {
+            assert_eq!(n, c.row_nnz(i));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, b) = sample_pair();
+        let c_seq = spgemm_seq(&a, &b);
+        let c_par = spgemm_cpu_parallel(&a, &b);
+        assert!(c_seq.approx_eq(&c_par, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn empty_rows_produce_empty_output_rows() {
+        let a: Csr<f64> = Csr::empty(4, 4);
+        let b: Csr<f64> = Csr::identity(4);
+        let c = spgemm_seq(&a, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.rows(), 4);
+    }
+
+    #[test]
+    fn numerical_cancellation_keeps_explicit_zero() {
+        // A row that sums to exactly zero still appears in the pattern —
+        // SpGEMM is structural, matching the paper's symbolic counting.
+        let a = Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, -1.0]).unwrap();
+        let b = Csr::from_parts(2, 1, vec![0, 1, 2], vec![0, 0], vec![1.0, 1.0]).unwrap();
+        let c = spgemm_seq(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.vals()[0], 0.0);
+    }
+}

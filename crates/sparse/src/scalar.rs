@@ -1,0 +1,128 @@
+//! Numeric scalar abstraction used by all matrix types and kernels.
+//!
+//! The paper evaluates in double precision; we keep the kernels generic over
+//! [`Scalar`] so both `f32` and `f64` are first-class, which also lets tests
+//! exercise the accumulation paths at both precisions.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Element type of a sparse matrix.
+///
+/// The bound set is the minimum the SpGEMM kernels need: ring operations,
+/// a additive identity for accumulator initialisation, and a magnitude for
+/// approximate comparison in tests.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Absolute value, used for approximate equality in validation.
+    fn abs(self) -> Self;
+    /// Lossy conversion from `f64`, used by generators.
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`, used by statistics and validation.
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Relative-or-absolute approximate equality for validating numeric results.
+///
+/// Returns `true` when `|a - b| <= atol + rtol * max(|a|, |b|)`.
+pub fn approx_eq<V: Scalar>(a: V, b: V, rtol: f64, atol: f64) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    let diff = (a - b).abs();
+    diff <= atol + rtol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_ring_identities() {
+        assert_eq!(<f64 as Scalar>::zero() + 3.5, 3.5);
+        assert_eq!(<f64 as Scalar>::one() * 3.5, 3.5);
+        assert_eq!((-2.0f64).abs(), 2.0);
+    }
+
+    #[test]
+    fn f32_roundtrip_through_f64() {
+        let x = 1.25f32;
+        assert_eq!(f32::from_f64(x.to_f64()), x);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerances() {
+        assert!(approx_eq(1.0f64, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(!approx_eq(1.0f64, 1.1, 1e-9, 0.0));
+        assert!(approx_eq(0.0f64, 1e-15, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        // Relative tolerance grows with the operands.
+        assert!(approx_eq(1e12f64, 1e12 + 1.0, 1e-9, 0.0));
+        assert!(!approx_eq(1e-12f64, 2e-12, 1e-9, 0.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Matrix statistics mirroring the quantities the paper reports (Table 4)
+//! and the ones its decision heuristics consume (§3.3, §4.1).
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// Summary statistics of a single matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+    /// Mean NNZ per row.
+    pub avg_row_nnz: f64,
+    /// Largest NNZ in any row.
+    pub max_row_nnz: usize,
+    /// Smallest NNZ in any row.
+    pub min_row_nnz: usize,
+    /// Population standard deviation of row lengths.
+    pub row_nnz_stddev: f64,
+    /// Number of rows with exactly one stored entry — the paper's direct
+    /// referencing path applies to these (§4.3).
+    pub single_entry_rows: usize,
+    /// Number of rows with no stored entries.
+    pub empty_rows: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics for a matrix.
+    pub fn of<V: Scalar>(m: &Csr<V>) -> Self {
+        let rows = m.rows();
+        let mut max_row = 0usize;
+        let mut min_row = usize::MAX;
+        let mut singles = 0usize;
+        let mut empties = 0usize;
+        let mut sum = 0f64;
+        let mut sum_sq = 0f64;
+        for i in 0..rows {
+            let n = m.row_nnz(i);
+            max_row = max_row.max(n);
+            min_row = min_row.min(n);
+            if n == 1 {
+                singles += 1;
+            }
+            if n == 0 {
+                empties += 1;
+            }
+            sum += n as f64;
+            sum_sq += (n * n) as f64;
+        }
+        if rows == 0 {
+            min_row = 0;
+        }
+        let avg = if rows == 0 { 0.0 } else { sum / rows as f64 };
+        let var = if rows == 0 {
+            0.0
+        } else {
+            (sum_sq / rows as f64 - avg * avg).max(0.0)
+        };
+        Self {
+            rows,
+            cols: m.cols(),
+            nnz: m.nnz(),
+            avg_row_nnz: avg,
+            max_row_nnz: max_row,
+            min_row_nnz: min_row,
+            row_nnz_stddev: var.sqrt(),
+            single_entry_rows: singles,
+            empty_rows: empties,
+        }
+    }
+}
+
+/// Statistics of a *multiplication* `A·B`, the quantities in paper Table 4.
+#[derive(Clone, Debug)]
+pub struct ProductStats {
+    /// Intermediate product count (the paper's "Prod.").
+    pub products: u64,
+    /// NNZ of the result C.
+    pub nnz_c: usize,
+    /// Compaction factor `products / nnz_c` (paper §4.2: SuiteSparse
+    /// average is ~7; ~2 below 10M products).
+    pub compaction: f64,
+    /// FLOP count — the paper counts 2 ops (multiply + add) per product.
+    pub flops: u64,
+}
+
+impl ProductStats {
+    /// Computes product statistics given both inputs and the result.
+    pub fn of<V: Scalar>(a: &Csr<V>, b: &Csr<V>, c: &Csr<V>) -> Self {
+        let products = a.products(b);
+        let nnz_c = c.nnz();
+        Self {
+            products,
+            nnz_c,
+            compaction: if nnz_c == 0 {
+                0.0
+            } else {
+                products as f64 / nnz_c as f64
+            },
+            flops: 2 * products,
+        }
+    }
+
+    /// GFLOPS for a given duration in seconds (paper Fig. 6/9 metric).
+    pub fn gflops(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / seconds / 1e9
+        }
+    }
+}
+
+/// Histogram of row lengths in power-of-two buckets; used by the corpus
+/// summaries and by tests that check generator shapes.
+pub fn row_length_histogram<V: Scalar>(m: &Csr<V>) -> Vec<(usize, usize)> {
+    // Bucket b holds rows with nnz in [2^b, 2^(b+1)), bucket 0 holds 0..2.
+    let mut hist: Vec<usize> = Vec::new();
+    for i in 0..m.rows() {
+        let n = m.row_nnz(i);
+        let b = if n < 2 {
+            0
+        } else {
+            (usize::BITS - n.leading_zeros()) as usize - 1
+        };
+        if hist.len() <= b {
+            hist.resize(b + 1, 0);
+        }
+        hist[b] += 1;
+    }
+    hist.into_iter()
+        .enumerate()
+        .map(|(b, count)| (1usize << b, count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::spgemm_seq;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_parts(
+            4,
+            4,
+            vec![0, 1, 1, 4, 6],
+            vec![2, 0, 1, 3, 0, 2],
+            vec![1.0; 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_stats_basic() {
+        let s = MatrixStats::of(&sample());
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 0);
+        assert_eq!(s.single_entry_rows, 1);
+        assert_eq!(s.empty_rows, 1);
+        assert!((s.avg_row_nnz - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let s = MatrixStats::of(&Csr::<f64>::empty(0, 0));
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.avg_row_nnz, 0.0);
+        assert_eq!(s.min_row_nnz, 0);
+    }
+
+    #[test]
+    fn stddev_zero_for_uniform_rows() {
+        let m: Csr<f64> = Csr::identity(8);
+        let s = MatrixStats::of(&m);
+        assert!(s.row_nnz_stddev.abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_stats_and_gflops() {
+        let a = sample();
+        let c = spgemm_seq(&a, &a);
+        let ps = ProductStats::of(&a, &a, &c);
+        assert_eq!(ps.products, a.products(&a));
+        assert_eq!(ps.flops, 2 * ps.products);
+        assert!(ps.compaction >= 1.0);
+        let g = ps.gflops(1e-3);
+        assert!((g - ps.flops as f64 / 1e-3 / 1e9).abs() < 1e-9);
+        assert_eq!(ps.gflops(0.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_rows() {
+        let hist = row_length_histogram(&sample());
+        // rows: lengths 1,0,3,2 -> bucket 1 (i.e. [1,2)): two rows (0 and 1)
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert_eq!(hist[0].0, 1); // first bucket labelled by lower bound 2^0
+    }
+}

@@ -1,0 +1,88 @@
+//! CSR transpose.
+//!
+//! The paper evaluates rectangular matrices as `C = A·Aᵀ` with `Aᵀ`
+//! precomputed (§6); this module provides that precomputation.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// Transposes a CSR matrix. Output rows are sorted by construction because
+/// the counting pass walks the input in row-major (hence column-minor after
+/// the swap) order.
+pub fn transpose<V: Scalar>(m: &Csr<V>) -> Csr<V> {
+    let rows_t = m.cols();
+    let mut counts = vec![0usize; rows_t + 1];
+    for &c in m.col_idx() {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 0..rows_t {
+        counts[i + 1] += counts[i];
+    }
+    let row_ptr_t = counts.clone();
+    let mut cursor = counts;
+    let nnz = m.nnz();
+    let mut col_idx_t = vec![0u32; nnz];
+    let mut vals_t = vec![V::zero(); nnz];
+    for (r, cols, vals) in m.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            let dst = cursor[c as usize];
+            col_idx_t[dst] = r as u32;
+            vals_t[dst] = v;
+            cursor[c as usize] += 1;
+        }
+    }
+    Csr::from_parts_unchecked(rows_t, m.rows(), row_ptr_t, col_idx_t, vals_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = Csr::from_parts(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let t = transpose(&m);
+        t.validate().unwrap();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        let d = DenseMatrix::from_csr(&m);
+        let dt = DenseMatrix::from_csr(&t);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(d.get(r, c), dt.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity_op() {
+        let m = Csr::from_parts(
+            3,
+            3,
+            vec![0, 1, 3, 4],
+            vec![2, 0, 1, 0],
+            vec![5.0, 1.0, 2.0, 7.0],
+        )
+        .unwrap();
+        let tt = transpose(&transpose(&m));
+        assert!(m.approx_eq(&tt, 0.0, 0.0));
+    }
+
+    #[test]
+    fn transpose_of_empty() {
+        let m: Csr<f64> = Csr::empty(3, 5);
+        let t = transpose(&m);
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.nnz(), 0);
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! # speck-core — the spECK algorithm
+//!
+//! Reproduction of *spECK: Accelerating GPU Sparse Matrix-Matrix
+//! Multiplication through Lightweight Analysis* (PPoPP 2020) on the
+//! deterministic SIMT simulator from `speck-simt`.
+//!
+//! The pipeline (paper Fig. 2):
+//!
+//! 1. **Row analysis** ([`analysis`]) — O(NNZ(A)) pass over A and the row
+//!    extents of B (paper Alg. 1).
+//! 2. **Global load balancing** ([`global_lb`]) — conditional binning of
+//!    rows into six kernel configurations by scratchpad demand, with
+//!    parallel block merging for the smallest bin ([`block_merge`],
+//!    paper Alg. 2).
+//! 3. **Symbolic SpGEMM** ([`symbolic`]) — exact output-size counting with
+//!    per-block choice of hash / dense / direct accumulation.
+//! 4. **Second global load balancing** — re-binning on exact row sizes.
+//! 5. **Numeric SpGEMM** ([`numeric`]) — value computation with the same
+//!    accumulator choice plus in-scratchpad or global sorting ([`sort`]).
+//! 6. **Output assembly**.
+//!
+//! Entry point: [`multiply`] / [`SpeckSpgemm`].
+//!
+//! ```
+//! use speck_core::SpeckSpgemm;
+//! use speck_sparse::Csr;
+//!
+//! let a: Csr<f64> = Csr::identity(64);
+//! let engine = SpeckSpgemm::default();
+//! let (c, report) = engine.multiply(&a, &a);
+//! assert_eq!(c.nnz(), 64);
+//! assert!(report.sim_time_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod block_merge;
+pub mod cascade;
+pub mod config;
+pub mod denseacc;
+pub mod global_lb;
+pub mod hashacc;
+pub mod local_lb;
+pub mod numeric;
+pub mod partial;
+pub mod pipeline;
+pub mod sort;
+pub mod symbolic;
+pub mod tuning;
+
+pub use analysis::{analyze, AnalysisInfo, RowInfo};
+pub use cascade::KernelCascade;
+pub use config::{GlobalLbMode, GlobalLbThresholds, LocalLbMode, SpeckConfig};
+pub use partial::{multiply_multi_gpu, multiply_partitioned};
+pub use pipeline::{multiply, MultiplyReport, SpeckSpgemm};

@@ -1,0 +1,482 @@
+//! Numeric SpGEMM — value computation and output assembly (paper §4.3).
+//!
+//! Hash blocks accumulate `a_ik * b_kj` in the scratchpad map; the three
+//! smallest configurations sort in scratchpad, larger ones defer to a
+//! device-wide radix pass. Dense blocks sweep the column range in chunks
+//! (already sorted). Direct blocks scale one row of B.
+
+use crate::analysis::AnalysisInfo;
+use crate::cascade::{numeric_entry_bytes, KernelCascade};
+use crate::config::SpeckConfig;
+use crate::denseacc::DenseChunk;
+use crate::global_lb::PassPlan;
+use crate::hashacc::{compound_key, split_key, Accumulator};
+use crate::local_lb::select_group_size;
+use crate::sort::{radix_sort_pass, scratch_sort_steps, MAX_SCRATCH_SORT_CFG, MAX_SCRATCH_SORT_ENTRIES};
+use crate::symbolic::group_blocks;
+use speck_simt::{
+    launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
+    KernelReport,
+};
+use speck_sparse::{Csr, Scalar};
+
+/// One computed output row.
+type RowOut<V> = (Vec<u32>, Vec<V>);
+
+/// Result of the numeric pass.
+pub struct NumericOutput<V> {
+    /// The final output matrix C (sorted CSR).
+    pub c: Csr<V>,
+    /// Reports of the numeric kernels.
+    pub reports: Vec<KernelReport>,
+    /// Report of the trailing radix sort pass, when one was needed.
+    pub sort_report: Option<KernelReport>,
+    /// Elements that had to be sorted globally (radix pass input size).
+    pub radix_elems: usize,
+    /// Blocks that fell back to a global hash map.
+    pub spilled_blocks: usize,
+}
+
+/// Numeric hash kernel for one block of up to 32 rows.
+#[allow(clippy::too_many_arguments)]
+fn hash_block<V: Scalar>(
+    ctx: &mut BlockCtx,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    rows: &[u32],
+    capacity: usize,
+    entry_bytes: usize,
+    cfg: &SpeckConfig,
+    scratch_sorted: bool,
+) -> (Vec<RowOut<V>>, bool, bool) {
+    // Returns the computed rows, whether the block spilled to a global
+    // hash map, and whether its rows still need the global radix pass.
+    let threads = ctx.threads();
+    let nnz_a: u64 = rows.iter().map(|&r| info.rows[r as usize].nnz_a as u64).sum();
+    let products: u64 = rows.iter().map(|&r| info.rows[r as usize].products).sum();
+    let max_b: u64 = rows
+        .iter()
+        .map(|&r| info.rows[r as usize].max_b_row as u64)
+        .max()
+        .unwrap_or(0);
+    let g = select_group_size(cfg.local_lb, threads, nnz_a, products, max_b);
+    let k = (threads / g).max(1);
+
+    ctx.scratch.reserve(capacity * entry_bytes, "numeric hash map");
+    let mut acc: Accumulator<V> = Accumulator::new(capacity);
+    let mut iters: Vec<u64> = Vec::with_capacity(nnz_a as usize);
+    let mut tx = 0u64;
+
+    for (li, &r) in rows.iter().enumerate() {
+        let (a_cols, a_vals) = a.row(r as usize);
+        for (&kc, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(kc as usize);
+            iters.push((b_cols.len() as u64).div_ceil(g as u64));
+            // Numeric reads column + value of B (4 + val bytes).
+            tx += ctx.stream_tx(g, b_cols.len(), entry_bytes);
+            let mut pos = 0usize;
+            while pos < b_cols.len() {
+                let end = (pos + g).min(b_cols.len());
+                acc.reserve_or_spill(end - pos);
+                for i in pos..end {
+                    acc.insert(compound_key(li as u32, b_cols[i]), av * b_vals[i]);
+                }
+                pos = end;
+            }
+        }
+    }
+
+    ctx.charge_rounds(simulate_group_rounds(k, iters.iter().copied()));
+    ctx.charge_gmem_tx(tx);
+    ctx.charge_gmem_scatter(nnz_a); // B row-offset pair per NZ of A (one sector)
+    // Insert issue cost is part of the loop rounds; only contention
+    // beyond the first probe is charged separately.
+    ctx.charge_probes(acc.stats.probes);
+    ctx.charge_spill(acc.stats.spilled);
+    ctx.charge_gmem_atomic(acc.stats.gmem_inserts);
+    ctx.charge_sync();
+
+    let spilled = acc.spilled_to_global();
+    let entries = acc.drain_sorted();
+    let n = entries.len();
+    // Rank-sort in scratchpad only while the O(n^2) stays cheaper than a
+    // radix pass over the rows; spilled or oversized maps defer to radix.
+    let scratch_sorted = scratch_sorted && !spilled && n <= MAX_SCRATCH_SORT_ENTRIES;
+    if scratch_sorted {
+        ctx.charge_sort_steps(scratch_sort_steps(n, threads));
+    }
+    // Write n (col, val) pairs out, coalesced.
+    ctx.charge_gmem_store(n, entry_bytes);
+    ctx.charge_rounds((capacity as u64).div_ceil(threads as u64));
+
+    // Split per local row (keys sort row-major, so a linear sweep works).
+    let mut out: Vec<RowOut<V>> = vec![(Vec::new(), Vec::new()); rows.len()];
+    for (key, val) in entries {
+        let (lr, col) = split_key(key);
+        out[lr as usize].0.push(col);
+        out[lr as usize].1.push(val);
+    }
+    (out, spilled, !scratch_sorted)
+}
+
+/// Numeric dense kernel for one row (paper Fig. 5).
+fn dense_block<V: Scalar>(
+    ctx: &mut BlockCtx,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    row: u32,
+    slots: usize,
+) -> RowOut<V> {
+    let threads = ctx.threads();
+    let ri = &info.rows[row as usize];
+    let range = ri.col_range();
+    if range == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    ctx.scratch.reserve(
+        slots * crate::cascade::dense_numeric_slot_bytes(std::mem::size_of::<V>()),
+        "dense row",
+    );
+    let (a_cols, a_vals) = a.row(row as usize);
+    let mut cursors: Vec<usize> = a_cols
+        .iter()
+        .map(|&k| b.row_range(k as usize).start)
+        .collect();
+    let iterations = range.div_ceil(slots as u64);
+    let width = (slots as u64).min(range) as usize;
+    let mut chunk: DenseChunk<V> = DenseChunk::numeric(ri.col_min, width);
+    let mut cols_out = Vec::new();
+    let mut vals_out = Vec::new();
+    let cols_b = b.col_idx();
+    let vals_b = b.vals();
+    for it in 0..iterations {
+        let base = ri.col_min as u64 + it * slots as u64;
+        if it > 0 {
+            let w = (range - it * slots as u64).min(slots as u64) as usize;
+            if w != chunk.width() {
+                chunk = DenseChunk::numeric(base as u32, w);
+            } else {
+                chunk.reset(base as u32);
+            }
+        }
+        let end = base + slots as u64;
+        for (i, (&k, &av)) in a_cols.iter().zip(a_vals).enumerate() {
+            let row_end = b.row_range(k as usize).end;
+            while cursors[i] < row_end && (cols_b[cursors[i]] as u64) < end {
+                chunk.add(cols_b[cursors[i]], av * vals_b[cursors[i]]);
+                cursors[i] += 1;
+            }
+        }
+        // Prefix-sum compaction + partial store after every iteration.
+        let extracted = chunk.extract_sorted();
+        ctx.charge_smem((chunk.width() as u64) / 8);
+        ctx.charge_rounds((chunk.width() as u64).div_ceil(threads as u64));
+        ctx.charge_gmem_store(extracted.len(), 12);
+        ctx.charge_smem(a_cols.len() as u64);
+        ctx.charge_sync();
+        for (c, v) in extracted {
+            cols_out.push(c);
+            vals_out.push(v);
+        }
+    }
+    let mut tx = 0u64;
+    for &k in a_cols {
+        tx += ctx.stream_tx(threads, b.row_nnz(k as usize), 12);
+    }
+    ctx.charge_gmem_tx(tx);
+    ctx.charge_rounds(ri.products.div_ceil(threads as u64));
+    ctx.charge_gmem_scatter(a_cols.len() as u64 + 1);
+    (cols_out, vals_out)
+}
+
+/// Direct kernel: each row is one scaled row of B, already sorted
+/// (paper §4.3 "Single entry rows of A").
+fn direct_block<V: Scalar>(
+    ctx: &mut BlockCtx,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    rows: &[u32],
+) -> Vec<RowOut<V>> {
+    let threads = ctx.threads();
+    let mut out = Vec::with_capacity(rows.len());
+    let mut elems = 0usize;
+    for &r in rows {
+        let (a_cols, a_vals) = a.row(r as usize);
+        if let (Some(&k), Some(&av)) = (a_cols.first(), a_vals.first()) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            elems += b_cols.len();
+            out.push((
+                b_cols.to_vec(),
+                b_vals.iter().map(|&bv| av * bv).collect(),
+            ));
+        } else {
+            out.push((Vec::new(), Vec::new()));
+        }
+    }
+    // Stream every referenced row in and out once, no accumulation.
+    ctx.charge_gmem_scatter(4 * rows.len() as u64);
+    let rounds_in = ctx.charge_gmem_stream(threads, elems, 12);
+    ctx.charge_gmem_store(elems, 12);
+    ctx.charge_rounds(rounds_in / 2);
+    out
+}
+
+/// Runs the numeric pass and assembles C.
+#[allow(clippy::too_many_arguments)]
+pub fn run_numeric<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cascade: &KernelCascade,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    plan: &PassPlan,
+    row_nnz: &[u32],
+) -> NumericOutput<V> {
+    let entry_bytes = numeric_entry_bytes(b.cols(), std::mem::size_of::<V>());
+    let mut rows_out: Vec<Option<RowOut<V>>> = (0..a.rows()).map(|_| None).collect();
+    let mut reports = Vec::new();
+    let mut spilled_blocks = 0usize;
+    let mut radix_elems = 0usize;
+
+    for ((method, cfg_idx), blocks) in group_blocks(plan) {
+        let kc = cascade.config(cfg_idx);
+        match method {
+            0 => {
+                let capacity = cascade.hash_capacity(cfg_idx, entry_bytes);
+                let scratch_sorted = cfg_idx <= MAX_SCRATCH_SORT_CFG;
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    &format!("numeric_hash_c{cfg_idx}"),
+                    blocks.len(),
+                    kc,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        hash_block(
+                            ctx,
+                            a,
+                            b,
+                            info,
+                            &bp.rows,
+                            capacity,
+                            entry_bytes,
+                            cfg,
+                            scratch_sorted,
+                        )
+                    },
+                );
+                for (bp, (rows, spilled, needs_radix)) in blocks.iter().zip(outs) {
+                    spilled_blocks += usize::from(spilled);
+                    for (&r, row) in bp.rows.iter().zip(rows) {
+                        if needs_radix {
+                            radix_elems += row.0.len();
+                        }
+                        rows_out[r as usize] = Some(row);
+                    }
+                }
+                reports.push(report);
+            }
+            1 => {
+                let slots = cascade.dense_numeric_slots(cfg_idx, std::mem::size_of::<V>());
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    &format!("numeric_dense_c{cfg_idx}"),
+                    blocks.len(),
+                    kc,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        dense_block(ctx, a, b, info, bp.rows[0], slots)
+                    },
+                );
+                for (bp, row) in blocks.iter().zip(outs) {
+                    rows_out[bp.rows[0] as usize] = Some(row);
+                }
+                reports.push(report);
+            }
+            _ => {
+                let dk = KernelConfig::new(256.min(dev.max_threads_per_block), 0);
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    "numeric_direct",
+                    blocks.len(),
+                    dk,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        direct_block(ctx, a, b, &bp.rows)
+                    },
+                );
+                for (bp, rows) in blocks.iter().zip(outs) {
+                    for (&r, row) in bp.rows.iter().zip(rows) {
+                        rows_out[r as usize] = Some(row);
+                    }
+                }
+                reports.push(report);
+            }
+        }
+    }
+
+    // Trailing radix sort pass for rows the hash kernels left unsorted.
+    // (Functionally our accumulator already emits sorted entries; the pass
+    // exists to charge its cost, like the real implementation's CUB pass.)
+    let sort_report = radix_sort_pass(dev, cost, radix_elems, entry_bytes);
+
+    // Assemble C; the symbolic counts must match exactly.
+    let n = a.rows();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let total: usize = row_nnz.iter().map(|&x| x as usize).sum();
+    let mut col_idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (i, slot) in rows_out.into_iter().enumerate() {
+        let (cols, v) = slot.unwrap_or_else(|| panic!("row {i} was never computed"));
+        assert_eq!(
+            cols.len(),
+            row_nnz[i] as usize,
+            "numeric row {i} disagrees with the symbolic count"
+        );
+        col_idx.extend_from_slice(&cols);
+        vals.extend_from_slice(&v);
+        row_ptr.push(col_idx.len());
+    }
+    let c = Csr::from_parts_unchecked(n, b.cols(), row_ptr, col_idx, vals);
+
+    NumericOutput {
+        c,
+        reports,
+        sort_report,
+        radix_elems,
+        spilled_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::global_lb::{plan_numeric, plan_symbolic};
+    use crate::symbolic::run_symbolic;
+    use speck_sparse::gen::{block_diagonal, rmat, uniform_random};
+    use speck_sparse::reference::spgemm_seq;
+
+    fn full_multiply(a: &Csr<f64>, cfg: &SpeckConfig) -> NumericOutput<f64> {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let cascade = KernelCascade::for_device(&dev);
+        let (info, _) = analyze(&dev, &cost, a, a);
+        let splan = plan_symbolic(&dev, &cost, &cascade, cfg, &info, a.cols());
+        let sym = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &splan);
+        let nplan = plan_numeric(&dev, &cost, &cascade, cfg, &info, &sym.row_nnz, a.cols(), 8);
+        run_numeric(&dev, &cost, &cascade, cfg, a, a, &info, &nplan, &sym.row_nnz)
+    }
+
+    fn check(a: &Csr<f64>, cfg: &SpeckConfig) -> NumericOutput<f64> {
+        let out = full_multiply(a, cfg);
+        let expect = spgemm_seq(a, a);
+        out.c.validate().unwrap();
+        assert!(
+            out.c.approx_eq(&expect, 1e-10, 1e-12),
+            "numeric result mismatch"
+        );
+        out
+    }
+
+    #[test]
+    fn values_match_reference_uniform() {
+        let a = uniform_random(300, 300, 2, 8, 21);
+        check(&a, &SpeckConfig::default());
+    }
+
+    #[test]
+    fn values_match_reference_skewed() {
+        let a = rmat(9, 8, 0.57, 0.19, 0.19, 6);
+        check(&a, &SpeckConfig::default());
+    }
+
+    #[test]
+    fn values_match_dense_path() {
+        let a = block_diagonal(2, 128, 1.0, 3);
+        let out = check(&a, &SpeckConfig::default());
+        // All rows are 100% dense: the dense accumulator handles them and
+        // nothing needs the radix pass.
+        assert_eq!(out.radix_elems, 0);
+    }
+
+    #[test]
+    fn values_match_direct_path() {
+        let a: Csr<f64> = Csr::identity(500);
+        let out = check(&a, &SpeckConfig::default());
+        assert!(out.reports.iter().any(|r| r.name == "numeric_direct"));
+    }
+
+    #[test]
+    fn values_match_hash_only() {
+        // One output row with 30 000 distinct columns exceeds the largest
+        // numeric hash capacity (98 304 B / 12 B = 8 192 entries): hash-only
+        // must spill to the global map yet stay exact.
+        let n = 30_000u32;
+        let mut coo = speck_sparse::Coo::<f64>::new(n as usize, n as usize);
+        for j in 0..n {
+            coo.push(0, j, 0.5 + (j % 7) as f64);
+        }
+        for i in 1..n {
+            coo.push(i, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let out = check(&a, &SpeckConfig::hash_only());
+        assert!(out.spilled_blocks > 0, "expected global hash fallback");
+        assert!(out.radix_elems > 0, "spilled rows must be radix-sorted");
+    }
+
+    #[test]
+    fn values_match_fixed_local_lb() {
+        let a = uniform_random(256, 256, 1, 10, 13);
+        check(&a, &SpeckConfig::fixed_local_lb());
+    }
+
+    #[test]
+    fn values_match_lb_always_on_and_off() {
+        let a = rmat(8, 8, 0.57, 0.19, 0.19, 14);
+        for mode in [crate::GlobalLbMode::AlwaysOn, crate::GlobalLbMode::AlwaysOff] {
+            let mut cfg = SpeckConfig::default();
+            cfg.global_lb = mode;
+            check(&a, &cfg);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_produces_empty_c() {
+        let a: Csr<f64> = Csr::empty(20, 20);
+        let out = check(&a, &SpeckConfig::default());
+        assert_eq!(out.c.nnz(), 0);
+    }
+
+    #[test]
+    fn f32_values_supported() {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let cascade = KernelCascade::for_device(&dev);
+        let cfg = SpeckConfig::default();
+        let a64 = uniform_random(128, 128, 1, 6, 8);
+        // Rebuild as f32.
+        let a: Csr<f32> = Csr::from_parts_unchecked(
+            a64.rows(),
+            a64.cols(),
+            a64.row_ptr().to_vec(),
+            a64.col_idx().to_vec(),
+            a64.vals().iter().map(|&v| v as f32).collect(),
+        );
+        let (info, _) = analyze(&dev, &cost, &a, &a);
+        let splan = plan_symbolic(&dev, &cost, &cascade, &cfg, &info, a.cols());
+        let sym = run_symbolic(&dev, &cost, &cascade, &cfg, &a, &a, &info, &splan);
+        let nplan = plan_numeric(&dev, &cost, &cascade, &cfg, &info, &sym.row_nnz, a.cols(), 4);
+        let out = run_numeric(&dev, &cost, &cascade, &cfg, &a, &a, &info, &nplan, &sym.row_nnz);
+        let expect64 = spgemm_seq(&a64, &a64);
+        assert_eq!(out.c.nnz(), expect64.nnz());
+    }
+}

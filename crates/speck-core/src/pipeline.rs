@@ -1,0 +1,357 @@
+//! The end-to-end spECK pipeline (paper Fig. 2) and its public API.
+
+use crate::analysis::analyze;
+use crate::cascade::KernelCascade;
+use crate::config::SpeckConfig;
+use crate::global_lb::{plan_numeric, plan_symbolic, ThresholdSet};
+use crate::numeric::run_numeric;
+use crate::symbolic::run_symbolic;
+use speck_simt::{CostModel, DeviceConfig, MemTracker, Timeline};
+use speck_sparse::{Csr, Scalar};
+
+/// Stage names used in the timeline, matching paper Fig. 11.
+pub mod stage {
+    /// Row analysis (Alg. 1).
+    pub const ANALYSIS: &str = "analysis";
+    /// Global load balancing before the symbolic pass.
+    pub const SYMBOLIC_LOAD: &str = "symb. load";
+    /// Symbolic SpGEMM.
+    pub const SYMBOLIC: &str = "symb. SpGEMM";
+    /// Global load balancing before the numeric pass.
+    pub const NUMERIC_LOAD: &str = "num. load";
+    /// Numeric SpGEMM.
+    pub const NUMERIC: &str = "num. SpGEMM";
+    /// Trailing radix sort.
+    pub const SORTING: &str = "sorting";
+}
+
+/// Everything the caller may want to know about one multiplication.
+#[derive(Clone, Debug)]
+pub struct MultiplyReport {
+    /// Per-stage simulated durations (Fig. 11).
+    pub timeline: Timeline,
+    /// Total simulated time in seconds.
+    pub sim_time_s: f64,
+    /// Peak simulated device memory (inputs excluded, output C included —
+    /// the paper's Table 3/Fig. 10 convention).
+    pub peak_mem_bytes: usize,
+    /// Whether the symbolic pass used the global load balancer.
+    pub symbolic_used_lb: bool,
+    /// Whether the numeric pass used the global load balancer.
+    pub numeric_used_lb: bool,
+    /// Threshold set consulted for the symbolic decision.
+    pub symbolic_threshold_set: ThresholdSet,
+    /// Threshold set consulted for the numeric decision.
+    pub numeric_threshold_set: ThresholdSet,
+    /// Demand-variance ratio `m_max/m_avg` seen by the symbolic decision.
+    pub symbolic_ratio: f64,
+    /// Demand-variance ratio seen by the numeric decision.
+    pub numeric_ratio: f64,
+    /// Blocks per method in the numeric pass: (hash, dense, direct).
+    pub numeric_methods: (usize, usize, usize),
+    /// Blocks that spilled to global hash maps across both passes.
+    pub spilled_blocks: usize,
+    /// Elements routed through the global radix sort.
+    pub radix_elems: usize,
+    /// Total intermediate products of the multiplication.
+    pub products: u64,
+}
+
+impl MultiplyReport {
+    /// GFLOPS at the paper's 2-ops-per-product convention.
+    pub fn gflops(&self) -> f64 {
+        if self.sim_time_s <= 0.0 {
+            0.0
+        } else {
+            (2 * self.products) as f64 / self.sim_time_s / 1e9
+        }
+    }
+}
+
+/// Reusable engine: device + cost model + configuration.
+#[derive(Clone, Debug)]
+pub struct SpeckSpgemm {
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Algorithm configuration.
+    pub config: SpeckConfig,
+}
+
+impl Default for SpeckSpgemm {
+    fn default() -> Self {
+        Self {
+            device: DeviceConfig::titan_v(),
+            cost: CostModel::default(),
+            config: SpeckConfig::default(),
+        }
+    }
+}
+
+impl SpeckSpgemm {
+    /// Engine with a custom configuration on the default device.
+    pub fn with_config(config: SpeckConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Computes `C = A · B`; returns the result and the full report.
+    pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
+        multiply(&self.device, &self.cost, &self.config, a, b)
+    }
+}
+
+/// Computes `C = A · B` with spECK on the simulator.
+///
+/// Panics when `a.cols() != b.rows()` (matching the reference
+/// implementations in `speck-sparse`).
+pub fn multiply<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+) -> (Csr<V>, MultiplyReport) {
+    assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
+    let cascade = KernelCascade::for_device(dev);
+    let mut timeline = Timeline::new();
+    let mut mem = MemTracker::new();
+    let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
+
+    // Stage 1: row analysis.
+    let (info, analysis_report) = analyze(dev, cost, a, b);
+    timeline.add_kernel(stage::ANALYSIS, &analysis_report);
+    mem.alloc(info.rows.len() * std::mem::size_of::<crate::analysis::RowInfo>());
+    timeline.add_fixed(stage::ANALYSIS, alloc_s(1));
+
+    // Stage 2: symbolic load balancing.
+    let splan = plan_symbolic(dev, cost, &cascade, cfg, &info, b.cols());
+    for r in &splan.lb_reports {
+        timeline.add_kernel(stage::SYMBOLIC_LOAD, r);
+    }
+    if splan.lb_alloc_bytes > 0 {
+        mem.alloc(splan.lb_alloc_bytes);
+        timeline.add_fixed(stage::SYMBOLIC_LOAD, alloc_s(1));
+    }
+
+    // Stage 3: symbolic SpGEMM.
+    let sym = run_symbolic(dev, cost, &cascade, cfg, a, b, &info, &splan);
+    for r in &sym.reports {
+        timeline.add_kernel(stage::SYMBOLIC, r);
+    }
+    // Row-count array + prefix sum for C's offsets.
+    mem.alloc((a.rows() + 1) * 8);
+    timeline.add_fixed(stage::SYMBOLIC, alloc_s(1));
+
+    // Output matrix C: counted for memory, not for time (paper §6: "the
+    // memory allocation of the output matrix is not measured").
+    let nnz_c: usize = sym.row_nnz.iter().map(|&x| x as usize).sum();
+    mem.alloc(nnz_c * (4 + std::mem::size_of::<V>()));
+
+    // Stage 4: numeric load balancing on exact sizes.
+    let nplan = plan_numeric(
+        dev,
+        cost,
+        &cascade,
+        cfg,
+        &info,
+        &sym.row_nnz,
+        b.cols(),
+        std::mem::size_of::<V>(),
+    );
+    for r in &nplan.lb_reports {
+        timeline.add_kernel(stage::NUMERIC_LOAD, r);
+    }
+    if nplan.lb_alloc_bytes > 0 {
+        mem.alloc(nplan.lb_alloc_bytes);
+        timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
+    }
+
+    // Global hash-map fallback pool: as many maps as can be live at once
+    // (paper §4.3), sized by the largest conceivable overflow row.
+    let largest_cfg = cascade.config(cascade.largest());
+    let overflow_rows = info
+        .rows
+        .iter()
+        .filter(|r| {
+            r.products as usize
+                > cascade.hash_capacity(
+                    cascade.largest(),
+                    crate::cascade::symbolic_entry_bytes(b.cols()),
+                )
+        })
+        .count();
+    if overflow_rows > 0 {
+        let pool = overflow_rows
+            .min(dev.max_concurrent_blocks(largest_cfg.threads, largest_cfg.scratch_bytes));
+        let per_map = info.max_products as usize * (8 + std::mem::size_of::<V>());
+        mem.alloc(pool * per_map);
+        timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
+    }
+
+    // Stage 5: numeric SpGEMM.
+    let num = run_numeric(dev, cost, &cascade, cfg, a, b, &info, &nplan, &sym.row_nnz);
+    for r in &num.reports {
+        timeline.add_kernel(stage::NUMERIC, r);
+    }
+
+    // Stage 6: sorting.
+    if let Some(r) = &num.sort_report {
+        timeline.add_kernel(stage::SORTING, r);
+        // Radix double-buffer.
+        mem.alloc(num.radix_elems * (4 + std::mem::size_of::<V>()));
+        timeline.add_fixed(stage::SORTING, alloc_s(1));
+    }
+
+    let report = MultiplyReport {
+        sim_time_s: timeline.total_seconds(),
+        peak_mem_bytes: mem.peak(),
+        symbolic_used_lb: splan.used_global_lb,
+        numeric_used_lb: nplan.used_global_lb,
+        symbolic_threshold_set: splan.threshold_set,
+        numeric_threshold_set: nplan.threshold_set,
+        symbolic_ratio: splan.decision_ratio,
+        numeric_ratio: nplan.decision_ratio,
+        numeric_methods: nplan.method_counts(),
+        spilled_blocks: sym.spilled_blocks + num.spilled_blocks,
+        radix_elems: num.radix_elems,
+        products: info.total_products,
+        timeline,
+    };
+    (num.c, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speck_sparse::gen::{banded, block_diagonal, rectangular_lp, rmat, uniform_random};
+    use speck_sparse::reference::spgemm_seq;
+    use speck_sparse::transpose::transpose;
+
+    fn verify(a: &Csr<f64>, b: &Csr<f64>) -> MultiplyReport {
+        let engine = SpeckSpgemm::default();
+        let (c, report) = engine.multiply(a, b);
+        c.validate().unwrap();
+        let expect = spgemm_seq(a, b);
+        assert!(c.approx_eq(&expect, 1e-10, 1e-12), "result mismatch");
+        report
+    }
+
+    #[test]
+    fn end_to_end_banded() {
+        let a = banded(2000, 2, 1.0, 3);
+        let r = verify(&a, &a);
+        assert!(r.sim_time_s > 0.0);
+        assert!(r.products > 0);
+    }
+
+    #[test]
+    fn end_to_end_skewed_graph() {
+        let a = rmat(10, 8, 0.57, 0.19, 0.19, 4);
+        let r = verify(&a, &a);
+        // The analysis must see the degree skew even if the (tuned)
+        // decision judges this matrix too small to bin profitably.
+        assert!(r.symbolic_ratio > 5.0);
+
+        // With pronounced hub rows the load balancer must engage.
+        let hub = speck_sparse::gen::with_hub_rows(6_000, 1, 4, 3_000, 5);
+        let r = verify(&hub, &hub);
+        assert!(r.symbolic_used_lb || r.numeric_used_lb);
+    }
+
+    #[test]
+    fn end_to_end_rectangular_a_at() {
+        let a = rectangular_lp(300, 5000, 20, 40, 5);
+        let at = transpose(&a);
+        verify(&a, &at);
+    }
+
+    #[test]
+    fn end_to_end_dense_blocks() {
+        let a = block_diagonal(3, 100, 1.0, 6);
+        let r = verify(&a, &a);
+        let (_, dense, _) = r.numeric_methods;
+        assert!(dense > 0, "dense accumulator should engage");
+    }
+
+    #[test]
+    fn stage_shares_sum_to_one() {
+        let a = uniform_random(1000, 1000, 2, 10, 7);
+        let r = verify(&a, &a);
+        let total: f64 = [
+            stage::ANALYSIS,
+            stage::SYMBOLIC_LOAD,
+            stage::SYMBOLIC,
+            stage::NUMERIC_LOAD,
+            stage::NUMERIC,
+            stage::SORTING,
+        ]
+        .iter()
+        .map(|s| r.timeline.share(s))
+        .sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn analysis_is_cheap_relative_to_numeric() {
+        // Paper Fig. 11: row analysis is <10% in most cases.
+        let a = banded(4000, 8, 1.0, 8);
+        let r = verify(&a, &a);
+        assert!(
+            r.timeline.share(stage::ANALYSIS) < 0.35,
+            "analysis share {}",
+            r.timeline.share(stage::ANALYSIS)
+        );
+    }
+
+    #[test]
+    fn gflops_is_positive_and_finite() {
+        let a = banded(1000, 4, 1.0, 9);
+        let r = verify(&a, &a);
+        assert!(r.gflops().is_finite() && r.gflops() > 0.0);
+    }
+
+    #[test]
+    fn peak_memory_includes_output() {
+        let a = uniform_random(500, 500, 4, 8, 10);
+        let r = verify(&a, &a);
+        let c = spgemm_seq(&a, &a);
+        assert!(r.peak_mem_bytes >= c.nnz() * 12);
+    }
+
+    #[test]
+    fn deterministic_report() {
+        let a = rmat(8, 6, 0.57, 0.19, 0.19, 11);
+        let e = SpeckSpgemm::default();
+        let (_, r1) = e.multiply(&a, &a);
+        let (_, r2) = e.multiply(&a, &a);
+        assert_eq!(r1.sim_time_s, r2.sim_time_s);
+        assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a: Csr<f64> = Csr::identity(3);
+        let b: Csr<f64> = Csr::identity(4);
+        let _ = SpeckSpgemm::default().multiply(&a, &b);
+    }
+
+    #[test]
+    fn ablation_configs_all_correct() {
+        let a = rmat(8, 8, 0.57, 0.19, 0.19, 12);
+        for cfg in [
+            SpeckConfig::hash_only(),
+            SpeckConfig::hash_dense(),
+            SpeckConfig::fixed_local_lb(),
+        ] {
+            let engine = SpeckSpgemm::with_config(cfg);
+            let (c, _) = engine.multiply(&a, &a);
+            let expect = spgemm_seq(&a, &a);
+            assert!(c.approx_eq(&expect, 1e-10, 1e-12));
+        }
+    }
+}

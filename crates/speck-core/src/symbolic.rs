@@ -1,0 +1,377 @@
+//! Symbolic SpGEMM — exact output-size counting (paper §4.3).
+//!
+//! Executes the pass plan from [`crate::global_lb`]: hash blocks count
+//! distinct columns in a scratchpad map, dense blocks count bits in a
+//! chunked bitmask, and direct blocks read row lengths straight from B's
+//! offsets.
+
+use crate::analysis::AnalysisInfo;
+use crate::cascade::{symbolic_entry_bytes, KernelCascade};
+use crate::config::SpeckConfig;
+use crate::denseacc::DenseChunk;
+use crate::global_lb::{AccMethod, BlockPlan, PassPlan};
+use crate::hashacc::{compound_key, Accumulator};
+use crate::local_lb::select_group_size;
+use speck_simt::{
+    launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
+    KernelReport,
+};
+use speck_sparse::{Csr, Scalar};
+use std::collections::BTreeMap;
+
+/// Result of the symbolic pass.
+#[derive(Clone, Debug)]
+pub struct SymbolicOutput {
+    /// Exact NNZ of every row of C.
+    pub row_nnz: Vec<u32>,
+    /// One report per kernel launch.
+    pub reports: Vec<KernelReport>,
+    /// Blocks that fell back to a global hash map.
+    pub spilled_blocks: usize,
+}
+
+/// Groups plan blocks into launches of identical (method, config).
+pub(crate) fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<BlockPlan>> {
+    let mut groups: BTreeMap<(u8, usize), Vec<BlockPlan>> = BTreeMap::new();
+    for b in &plan.blocks {
+        let m = match b.method {
+            AccMethod::Hash => 0u8,
+            AccMethod::Dense => 1,
+            AccMethod::Direct => 2,
+        };
+        groups.entry((m, b.cfg_idx)).or_default().push(b.clone());
+    }
+    groups
+}
+
+/// Per-block symbolic hash kernel: counts distinct output columns of up to
+/// 32 rows in one scratchpad map.
+#[allow(clippy::too_many_arguments)]
+fn hash_block<V: Scalar>(
+    ctx: &mut BlockCtx,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    rows: &[u32],
+    capacity: usize,
+    entry_bytes: usize,
+    cfg: &SpeckConfig,
+) -> (Vec<u32>, bool) {
+    let threads = ctx.threads();
+    let nnz_a: u64 = rows.iter().map(|&r| info.rows[r as usize].nnz_a as u64).sum();
+    let products: u64 = rows.iter().map(|&r| info.rows[r as usize].products).sum();
+    let max_b: u64 = rows
+        .iter()
+        .map(|&r| info.rows[r as usize].max_b_row as u64)
+        .max()
+        .unwrap_or(0);
+    let g = select_group_size(cfg.local_lb, threads, nnz_a, products, max_b);
+    let k = (threads / g).max(1);
+
+    ctx.scratch.reserve(capacity * entry_bytes, "symbolic hash map");
+    let mut acc: Accumulator<V> = Accumulator::new(capacity);
+    let mut iters: Vec<u64> = Vec::with_capacity(nnz_a as usize);
+    let mut tx = 0u64;
+
+    for (li, &r) in rows.iter().enumerate() {
+        let (a_cols, _) = a.row(r as usize);
+        for &kc in a_cols {
+            let (b_cols, _) = b.row(kc as usize);
+            iters.push((b_cols.len() as u64).div_ceil(g as u64));
+            tx += ctx.stream_tx(g, b_cols.len(), 4);
+            for batch in b_cols.chunks(g.max(1)) {
+                acc.reserve_or_spill(batch.len());
+                for &j in batch {
+                    acc.insert_key(compound_key(li as u32, j));
+                }
+            }
+        }
+    }
+
+    ctx.charge_rounds(simulate_group_rounds(k, iters.iter().copied()));
+    ctx.charge_gmem_tx(tx);
+    ctx.charge_gmem_scatter(nnz_a); // B row-offset pair per NZ of A (one sector)
+    // Insert issue cost is part of the loop rounds; only contention
+    // beyond the first probe is charged separately.
+    ctx.charge_probes(acc.stats.probes);
+    ctx.charge_spill(acc.stats.spilled);
+    ctx.charge_gmem_atomic(acc.stats.gmem_inserts);
+    ctx.charge_sync();
+    // Extraction: per-row counters are bumped at insert time (folded into
+    // the iteration's instruction bundle, i.e. the issue rounds), so no
+    // map rescan is needed — just write the counts out.
+    ctx.charge_gmem_scatter(rows.len() as u64);
+
+    (acc.counts_per_local_row(rows.len()), acc.spilled_to_global())
+}
+
+/// Per-block symbolic dense kernel: one (huge) row counted with a chunked
+/// bitmask (paper Fig. 5, symbolic variant).
+fn dense_block<V: Scalar>(
+    ctx: &mut BlockCtx,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    row: u32,
+    bits: usize,
+) -> u32 {
+    let threads = ctx.threads();
+    let ri = &info.rows[row as usize];
+    let range = ri.col_range();
+    if range == 0 {
+        return 0;
+    }
+    ctx.scratch.reserve(bits / 8, "symbolic dense bitmask");
+    let (a_cols, _) = a.row(row as usize);
+    let mut cursors: Vec<usize> = a_cols
+        .iter()
+        .map(|&k| b.row_range(k as usize).start)
+        .collect();
+    let iterations = range.div_ceil(bits as u64);
+    let width = (bits as u64).min(range) as usize;
+    let mut chunk: DenseChunk<V> = DenseChunk::symbolic(ri.col_min, width);
+    let mut count = 0u32;
+    let cols_b = b.col_idx();
+    for it in 0..iterations {
+        let base = ri.col_min as u64 + it * bits as u64;
+        if it > 0 {
+            let w = (range - it * bits as u64).min(bits as u64) as usize;
+            if w != chunk.width() {
+                chunk = DenseChunk::symbolic(base as u32, w);
+            } else {
+                chunk.reset(base as u32);
+            }
+        }
+        let end = base + bits as u64;
+        for (i, &k) in a_cols.iter().enumerate() {
+            let row_end = b.row_range(k as usize).end;
+            while cursors[i] < row_end && (cols_b[cursors[i]] as u64) < end {
+                chunk.mark(cols_b[cursors[i]]);
+                cursors[i] += 1;
+            }
+        }
+        count += chunk.touched() as u32;
+        // Per-chunk cost: cursor bookkeeping and the bit-count reduction.
+        ctx.charge_smem(a_cols.len() as u64);
+        ctx.charge_rounds((width as u64 / 64).div_ceil(threads as u64) + 1);
+        ctx.charge_sync();
+    }
+    // Streaming cost: every element of every referenced row is visited
+    // exactly once across all chunks (the cursors make the sweep linear).
+    let mut tx = 0u64;
+    for &k in a_cols {
+        tx += ctx.stream_tx(threads, b.row_nnz(k as usize), 4);
+    }
+    ctx.charge_gmem_tx(tx);
+    ctx.charge_rounds(ri.products.div_ceil(threads as u64));
+    ctx.charge_gmem_scatter(a_cols.len() as u64 + 1);
+    count
+}
+
+/// Per-block direct kernel: rows with at most one NZ of A need only B's
+/// row offsets (paper §4.3 "Single entry rows of A").
+fn direct_block<V: Scalar>(ctx: &mut BlockCtx, a: &Csr<V>, b: &Csr<V>, rows: &[u32]) -> Vec<u32> {
+    let threads = ctx.threads();
+    let mut counts = Vec::with_capacity(rows.len());
+    for &r in rows {
+        let (a_cols, _) = a.row(r as usize);
+        debug_assert!(a_cols.len() <= 1, "direct path requires <= 1 NZ per row");
+        let c = if let Some(&k) = a_cols.first() {
+            b.row_nnz(k as usize) as u32
+        } else {
+            0
+        };
+        counts.push(c);
+    }
+    // Two offset reads of A and two of B per row, one count written.
+    ctx.charge_rounds((rows.len() as u64).div_ceil(threads as u64) * 2);
+    ctx.charge_gmem_scatter(4 * rows.len() as u64);
+    ctx.charge_gmem_scatter(rows.len() as u64);
+    counts
+}
+
+/// Runs the symbolic pass over the plan.
+#[allow(clippy::too_many_arguments)]
+pub fn run_symbolic<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cascade: &KernelCascade,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    info: &AnalysisInfo,
+    plan: &PassPlan,
+) -> SymbolicOutput {
+    let entry_bytes = symbolic_entry_bytes(b.cols());
+    let mut row_nnz = vec![0u32; a.rows()];
+    let mut reports = Vec::new();
+    let mut spilled_blocks = 0usize;
+
+    for ((method, cfg_idx), blocks) in group_blocks(plan) {
+        let kc = cascade.config(cfg_idx);
+        match method {
+            0 => {
+                let capacity = cascade.hash_capacity(cfg_idx, entry_bytes);
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    &format!("symbolic_hash_c{cfg_idx}"),
+                    blocks.len(),
+                    kc,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        hash_block(ctx, a, b, info, &bp.rows, capacity, entry_bytes, cfg)
+                    },
+                );
+                for (bp, (counts, spilled)) in blocks.iter().zip(outs) {
+                    spilled_blocks += usize::from(spilled);
+                    for (&r, c) in bp.rows.iter().zip(counts) {
+                        row_nnz[r as usize] = c;
+                    }
+                }
+                reports.push(report);
+            }
+            1 => {
+                let bits = cascade.dense_symbolic_bits(cfg_idx);
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    &format!("symbolic_dense_c{cfg_idx}"),
+                    blocks.len(),
+                    kc,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        dense_block(ctx, a, b, info, bp.rows[0], bits)
+                    },
+                );
+                for (bp, count) in blocks.iter().zip(outs) {
+                    row_nnz[bp.rows[0] as usize] = count;
+                }
+                reports.push(report);
+            }
+            _ => {
+                let dk = KernelConfig::new(256.min(dev.max_threads_per_block), 0);
+                let (report, outs) = launch_map(
+                    dev,
+                    cost,
+                    "symbolic_direct",
+                    blocks.len(),
+                    dk,
+                    |ctx| {
+                        let bp = &blocks[ctx.block_id()];
+                        direct_block(ctx, a, b, &bp.rows)
+                    },
+                );
+                for (bp, counts) in blocks.iter().zip(outs) {
+                    for (&r, c) in bp.rows.iter().zip(counts) {
+                        row_nnz[r as usize] = c;
+                    }
+                }
+                reports.push(report);
+            }
+        }
+    }
+
+    SymbolicOutput {
+        row_nnz,
+        reports,
+        spilled_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::global_lb::plan_symbolic;
+    use speck_sparse::gen::{block_diagonal, rmat, uniform_random};
+    use speck_sparse::reference::spgemm_row_nnz;
+
+    fn check_counts(a: &Csr<f64>, cfg: &SpeckConfig) -> SymbolicOutput {
+        let dev = DeviceConfig::titan_v();
+        let cost = CostModel::default();
+        let cascade = KernelCascade::for_device(&dev);
+        let (info, _) = analyze(&dev, &cost, a, a);
+        let plan = plan_symbolic(&dev, &cost, &cascade, cfg, &info, a.cols());
+        let out = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &plan);
+        let expect = spgemm_row_nnz(a, a);
+        for (i, (&got, &want)) in out.row_nnz.iter().zip(expect.iter()).enumerate() {
+            assert_eq!(got as usize, want, "row {i}");
+        }
+        out
+    }
+
+    #[test]
+    fn counts_match_reference_uniform() {
+        let a = uniform_random(400, 400, 2, 8, 11);
+        check_counts(&a, &SpeckConfig::default());
+    }
+
+    #[test]
+    fn counts_match_reference_skewed() {
+        let a = rmat(9, 8, 0.57, 0.19, 0.19, 4);
+        check_counts(&a, &SpeckConfig::default());
+    }
+
+    #[test]
+    fn counts_match_reference_identity() {
+        let a: Csr<f64> = Csr::identity(300);
+        let out = check_counts(&a, &SpeckConfig::default());
+        assert!(out.row_nnz.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn counts_match_with_dense_path() {
+        // Big dense block rows force the symbolic dense accumulator.
+        let a = block_diagonal(1, 300, 1.0, 9);
+        let out = check_counts(&a, &SpeckConfig::default());
+        assert_eq!(out.row_nnz[0], 300);
+    }
+
+    #[test]
+    fn counts_match_hash_only_ablation() {
+        // A single row whose output has more distinct columns than even the
+        // largest hash map (24 576 symbolic entries) holds: identity plus a
+        // full first row of width 30 000. Hash-only (dense disabled) must
+        // fall back to the global map and still count exactly.
+        let n = 30_000u32;
+        let mut coo = speck_sparse::Coo::<f64>::new(n as usize, n as usize);
+        for j in 0..n {
+            coo.push(0, j, 1.0);
+        }
+        for i in 1..n {
+            coo.push(i, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let out = check_counts(&a, &SpeckConfig::hash_only());
+        assert!(out.spilled_blocks > 0, "expected global hash fallback");
+        assert_eq!(out.row_nnz[0], n);
+    }
+
+    #[test]
+    fn counts_match_all_lb_modes() {
+        let a = rmat(8, 6, 0.57, 0.19, 0.19, 2);
+        for mode in [
+            crate::GlobalLbMode::Auto,
+            crate::GlobalLbMode::AlwaysOn,
+            crate::GlobalLbMode::AlwaysOff,
+        ] {
+            let mut cfg = SpeckConfig::default();
+            cfg.global_lb = mode;
+            check_counts(&a, &cfg);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_counts_zero() {
+        let a: Csr<f64> = Csr::empty(50, 50);
+        let out = check_counts(&a, &SpeckConfig::default());
+        assert!(out.row_nnz.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn fixed_local_lb_still_correct() {
+        let a = uniform_random(300, 300, 1, 12, 5);
+        check_counts(&a, &SpeckConfig::fixed_local_lb());
+    }
+}

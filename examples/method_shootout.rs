@@ -1,0 +1,101 @@
+//! Method shootout: run all eight SpGEMM methods on a matrix of your
+//! choice and print the paper-style comparison row.
+//!
+//! ```sh
+//! cargo run --release --example method_shootout -- [family] [size]
+//! # family in {banded, mesh3d, graph, blocks, lp}; size scales the matrix
+//! cargo run --release --example method_shootout -- path/to/matrix.mtx
+//! ```
+
+use speck_repro::baselines::all_methods;
+use speck_repro::simt::{CostModel, DeviceConfig};
+use speck_repro::sparse::gen::{banded, block_diagonal, poisson_3d, rectangular_lp, rmat};
+use speck_repro::sparse::io::mm::read_matrix_market_file;
+use speck_repro::sparse::reference::spgemm_seq;
+use speck_repro::sparse::transpose::transpose;
+use speck_repro::sparse::Csr;
+use std::path::Path;
+
+fn build(family: &str, size: usize) -> (Csr<f64>, Csr<f64>) {
+    let square = |a: Csr<f64>| {
+        let b = a.clone();
+        (a, b)
+    };
+    match family {
+        "banded" => square(banded(8_000 * size, 2, 1.0, 1)),
+        "mesh3d" => square(poisson_3d(12 * size, 12 * size, 12, 0.01, 2)),
+        "graph" => square(rmat(9 + size as u32, 8, 0.57, 0.19, 0.19, 3)),
+        "blocks" => square(block_diagonal(8 * size, 64, 1.0, 4)),
+        "lp" => {
+            let a = rectangular_lp(500 * size, 16_000 * size, 40, 80, 5);
+            let at = transpose(&a);
+            (a, at)
+        }
+        other => panic!("unknown family '{other}' (banded|mesh3d|graph|blocks|lp)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (a, b, label) = if let Some(first) = args.first() {
+        if first.ends_with(".mtx") {
+            let m: Csr<f64> =
+                read_matrix_market_file(Path::new(first)).expect("failed to read .mtx");
+            if m.rows() == m.cols() {
+                (m.clone(), m, first.clone())
+            } else {
+                let t = transpose(&m);
+                (m, t, format!("{first} (A*A^T)"))
+            }
+        } else {
+            let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let (a, b) = build(first, size);
+            (a, b, format!("{first} x{size}"))
+        }
+    } else {
+        let (a, b) = build("mesh3d", 2);
+        (a, b, "mesh3d x2 (default)".to_string())
+    };
+
+    let products = a.products(&b);
+    println!(
+        "{label}: A {}x{} nnz {}, {} products",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        products
+    );
+    let reference = spgemm_seq(&a, &b);
+    println!("C: {} non-zeros\n", reference.nnz());
+
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    println!(
+        "{:<10} {:>11} {:>9} {:>10}  notes",
+        "method", "time [us]", "GFLOPS", "mem [MiB]"
+    );
+    for method in all_methods() {
+        let r = method.multiply(&dev, &cost, &a, &b);
+        if let Some(mut c) = r.c.clone() {
+            if !r.sorted_output {
+                c.sort_rows();
+            }
+            assert!(
+                c.approx_eq(&reference, 1e-9, 1e-12),
+                "{} computed a wrong result",
+                method.name()
+            );
+        }
+        match r.failed {
+            None => println!(
+                "{:<10} {:>11.1} {:>9.2} {:>10.2}  {}",
+                method.name(),
+                r.sim_time_s * 1e6,
+                2.0 * products as f64 / r.sim_time_s / 1e9,
+                r.peak_mem_bytes as f64 / (1 << 20) as f64,
+                if r.sorted_output { "" } else { "unsorted output!" }
+            ),
+            Some(why) => println!("{:<10} {:>11} {:>9} {:>10}  FAILED: {why}", method.name(), "-", "-", "-"),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # speck-repro
+//!
+//! Facade crate re-exporting the whole spECK reproduction workspace:
+//!
+//! * [`sparse`] — matrix formats, I/O, generators, reference SpGEMM.
+//! * [`simt`] — the deterministic SIMT execution simulator.
+//! * [`speck`] — the paper's contribution: adaptive SpGEMM.
+//! * [`baselines`] — the comparator SpGEMM methods.
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable demos.
+
+pub use speck_baselines as baselines;
+pub use speck_core as speck;
+pub use speck_simt as simt;
+pub use speck_sparse as sparse;

@@ -1,0 +1,71 @@
+//! Determinism: the simulator's results and timings must not depend on
+//! host thread scheduling, and generators must be reproducible.
+
+use speck_repro::baselines::all_methods;
+use speck_repro::simt::{CostModel, DeviceConfig};
+use speck_repro::sparse::gen::{rmat, uniform_random};
+use speck_repro::speck::SpeckSpgemm;
+
+#[test]
+fn speck_times_and_results_are_bit_stable() {
+    let a = rmat(9, 8, 0.57, 0.19, 0.19, 31);
+    let engine = SpeckSpgemm::default();
+    let (c1, r1) = engine.multiply(&a, &a);
+    for _ in 0..3 {
+        let (c2, r2) = engine.multiply(&a, &a);
+        assert!(c1.approx_eq(&c2, 0.0, 0.0), "results must be identical");
+        assert_eq!(r1.sim_time_s, r2.sim_time_s, "simulated time must be stable");
+        assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
+        assert_eq!(r1.numeric_methods, r2.numeric_methods);
+    }
+}
+
+#[test]
+fn every_method_is_deterministic() {
+    let a = uniform_random(400, 400, 2, 8, 33);
+    let dev = DeviceConfig::titan_v();
+    let cost = CostModel::default();
+    for m in all_methods() {
+        let r1 = m.multiply(&dev, &cost, &a, &a);
+        let r2 = m.multiply(&dev, &cost, &a, &a);
+        assert_eq!(r1.sim_time_s, r2.sim_time_s, "{}", m.name());
+        assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes, "{}", m.name());
+        match (r1.c, r2.c) {
+            (Some(c1), Some(c2)) => assert!(c1.approx_eq(&c2, 0.0, 0.0), "{}", m.name()),
+            (None, None) => {}
+            _ => panic!("{}: inconsistent failure", m.name()),
+        }
+    }
+}
+
+#[test]
+fn generators_are_reproducible_across_calls() {
+    let a1 = rmat(8, 8, 0.57, 0.19, 0.19, 5);
+    let a2 = rmat(8, 8, 0.57, 0.19, 0.19, 5);
+    assert!(a1.approx_eq(&a2, 0.0, 0.0));
+    let b1 = uniform_random(100, 100, 1, 9, 6);
+    let b2 = uniform_random(100, 100, 1, 9, 6);
+    assert!(b1.approx_eq(&b2, 0.0, 0.0));
+    // Different seeds give different matrices.
+    let b3 = uniform_random(100, 100, 1, 9, 7);
+    assert!(!b1.approx_eq(&b3, 0.0, 0.0));
+}
+
+#[test]
+fn timeline_is_stable_across_runs() {
+    let a = uniform_random(600, 600, 3, 7, 34);
+    let engine = SpeckSpgemm::default();
+    let (_, r1) = engine.multiply(&a, &a);
+    let (_, r2) = engine.multiply(&a, &a);
+    let s1: Vec<(String, f64)> = r1
+        .timeline
+        .stages()
+        .map(|(n, s)| (n.to_string(), s.seconds))
+        .collect();
+    let s2: Vec<(String, f64)> = r2
+        .timeline
+        .stages()
+        .map(|(n, s)| (n.to_string(), s.seconds))
+        .collect();
+    assert_eq!(s1, s2);
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration: spECK against the sequential reference across
+//! every generator family, both multiplication modes, both precisions and
+//! all ablation configurations.
+
+use speck_repro::sparse::gen::{
+    banded, block_diagonal, common_matrices, poisson_2d, poisson_3d, rectangular_lp, rmat,
+    uniform_random, with_hub_rows,
+};
+use speck_repro::sparse::reference::spgemm_seq;
+use speck_repro::sparse::transpose::transpose;
+use speck_repro::sparse::Csr;
+use speck_repro::speck::{GlobalLbMode, SpeckConfig, SpeckSpgemm};
+
+fn check(a: &Csr<f64>, b: &Csr<f64>, what: &str) {
+    let engine = SpeckSpgemm::default();
+    let (c, report) = engine.multiply(a, b);
+    c.validate().unwrap_or_else(|e| panic!("{what}: {e}"));
+    let expect = spgemm_seq(a, b);
+    assert!(c.approx_eq(&expect, 1e-9, 1e-12), "{what}: wrong result");
+    assert!(report.sim_time_s > 0.0 && report.sim_time_s.is_finite(), "{what}");
+    assert_eq!(report.products, a.products(b), "{what}: product count");
+}
+
+#[test]
+fn banded_family() {
+    for (i, &(n, hb, fill)) in [(500usize, 1usize, 1.0f64), (2_000, 4, 0.8), (6_000, 16, 0.6)]
+        .iter()
+        .enumerate()
+    {
+        let a = banded(n, hb, fill, 900 + i as u64);
+        check(&a, &a, &format!("banded {n}/{hb}"));
+    }
+}
+
+#[test]
+fn stencil_family() {
+    let a = poisson_2d(50, 50, 0.01, 1);
+    check(&a, &a, "poisson2d");
+    let a = poisson_3d(14, 14, 14, 0.01, 2);
+    check(&a, &a, "poisson3d");
+}
+
+#[test]
+fn powerlaw_family() {
+    for scale in [8u32, 10, 11] {
+        let a = rmat(scale, 8, 0.57, 0.19, 0.19, scale as u64);
+        check(&a, &a, &format!("rmat s{scale}"));
+    }
+}
+
+#[test]
+fn blockdiag_family() {
+    let a = block_diagonal(8, 64, 1.0, 3);
+    check(&a, &a, "blockdiag dense");
+    let a = block_diagonal(4, 128, 0.5, 4);
+    check(&a, &a, "blockdiag half");
+}
+
+#[test]
+fn rectangular_times_transpose() {
+    let a = rectangular_lp(400, 9_000, 30, 60, 5);
+    let at = transpose(&a);
+    check(&a, &at, "lp A*A^T");
+    // And the transposed orientation too.
+    check(&at, &a, "lp A^T*A");
+}
+
+#[test]
+fn hub_rows_family() {
+    let a = with_hub_rows(4_000, 1, 8, 1_500, 6);
+    check(&a, &a, "hub rows");
+}
+
+#[test]
+fn all_common_standins() {
+    for cm in common_matrices() {
+        let (a, b) = cm.pair();
+        check(&a, &b, cm.name);
+    }
+}
+
+#[test]
+fn all_ablation_configs_on_a_mixed_matrix() {
+    let a = rmat(10, 8, 0.57, 0.19, 0.19, 77);
+    let expect = spgemm_seq(&a, &a);
+    let configs = [
+        SpeckConfig::default(),
+        SpeckConfig::hash_only(),
+        SpeckConfig::hash_dense(),
+        SpeckConfig::fixed_local_lb(),
+        SpeckConfig {
+            global_lb: GlobalLbMode::AlwaysOn,
+            ..SpeckConfig::default()
+        },
+        SpeckConfig {
+            global_lb: GlobalLbMode::AlwaysOff,
+            ..SpeckConfig::default()
+        },
+        SpeckConfig {
+            block_merge: false,
+            ..SpeckConfig::default()
+        },
+    ];
+    for (i, cfg) in configs.into_iter().enumerate() {
+        let engine = SpeckSpgemm::with_config(cfg);
+        let (c, _) = engine.multiply(&a, &a);
+        assert!(c.approx_eq(&expect, 1e-9, 1e-12), "config {i}");
+    }
+}
+
+#[test]
+fn f32_precision_end_to_end() {
+    let a64 = uniform_random(600, 600, 2, 10, 8);
+    let a: Csr<f32> = Csr::from_parts_unchecked(
+        a64.rows(),
+        a64.cols(),
+        a64.row_ptr().to_vec(),
+        a64.col_idx().to_vec(),
+        a64.vals().iter().map(|&v| v as f32).collect(),
+    );
+    let engine = SpeckSpgemm::default();
+    let (c, _) = engine.multiply(&a, &a);
+    let expect64 = spgemm_seq(&a64, &a64);
+    assert!(c.pattern_eq(&Csr::from_parts_unchecked(
+        expect64.rows(),
+        expect64.cols(),
+        expect64.row_ptr().to_vec(),
+        expect64.col_idx().to_vec(),
+        expect64.vals().iter().map(|&v| v as f32).collect(),
+    )));
+}
+
+#[test]
+fn degenerate_inputs() {
+    // Empty matrix.
+    let a: Csr<f64> = Csr::empty(100, 100);
+    check(&a, &a, "empty");
+    // Identity.
+    let i: Csr<f64> = Csr::identity(1000);
+    check(&i, &i, "identity");
+    // Single row, single column shapes.
+    let a = uniform_random(1, 64, 8, 8, 1);
+    let at = transpose(&a);
+    check(&a, &at, "1xN * Nx1");
+    // A matrix with empty rows interleaved.
+    let mut coo = speck_repro::sparse::Coo::<f64>::new(64, 64);
+    for i in (0..64u32).step_by(3) {
+        coo.push(i, (i * 7) % 64, 1.5);
+    }
+    let a = coo.to_csr();
+    check(&a, &a, "sparse with empty rows");
+}

@@ -1,0 +1,161 @@
+//! Property-based tests on the sparse-matrix substrate: format
+//! conversions, transposition and I/O must preserve the matrix exactly on
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+use speck_repro::sparse::io::{bin, mm};
+use speck_repro::sparse::ops::{add, add_scaled, diagonal, scale};
+use speck_repro::sparse::transpose::transpose;
+use speck_repro::sparse::{Coo, Csr, DenseMatrix};
+
+/// Strategy: an arbitrary small CSR matrix built through COO (duplicates
+/// allowed and summed).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
+        proptest::collection::vec(
+            (
+                0..rows as u32,
+                0..cols as u32,
+                proptest::num::i32::ANY.prop_map(|v| ((v % 1000) + 1001) as f64 / 8.0), // strictly positive: duplicate sums never cancel to zero
+            ),
+            0..=max_nnz,
+        )
+        .prop_map(move |trips| {
+            let mut coo: Coo<f64> = Coo::new(rows, cols);
+            for (r, c, v) in trips {
+                coo.push(r, c, v);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_is_always_valid(m in arb_csr(24, 120)) {
+        prop_assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn coo_roundtrip_is_identity(m in arb_csr(24, 120)) {
+        let back = m.to_coo().to_csr();
+        prop_assert!(m.approx_eq(&back, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(m in arb_csr(24, 120)) {
+        let tt = transpose(&transpose(&m));
+        prop_assert!(m.approx_eq(&tt, 0.0, 0.0));
+    }
+
+    #[test]
+    fn transpose_swaps_entries(m in arb_csr(16, 60)) {
+        let t = transpose(&m);
+        prop_assert_eq!(t.rows(), m.cols());
+        prop_assert_eq!(t.cols(), m.rows());
+        prop_assert_eq!(t.nnz(), m.nnz());
+        let d = DenseMatrix::from_csr(&m);
+        let dt = DenseMatrix::from_csr(&t);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert_eq!(d.get(r, c), dt.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(m in arb_csr(20, 80)) {
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&m, &mut buf).unwrap();
+        let back: Csr<f64> = mm::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert!(m.approx_eq(&back, 1e-14, 1e-300));
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact(m in arb_csr(20, 80)) {
+        let mut buf = Vec::new();
+        bin::write_bin_csr(&m, &mut buf).unwrap();
+        let back: Csr<f64> = bin::read_bin_csr(buf.as_slice()).unwrap();
+        prop_assert!(m.approx_eq(&back, 0.0, 0.0));
+    }
+
+    #[test]
+    fn dense_roundtrip_preserves_nonzeros(m in arb_csr(16, 60)) {
+        let back = DenseMatrix::from_csr(&m).to_csr();
+        // Exact zeros stored in m would be dropped, but the generator
+        // never produces them, so the roundtrip is exact.
+        prop_assert!(m.approx_eq(&back, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sort_rows_is_idempotent_and_canonical(m in arb_csr(20, 100)) {
+        let mut once = m.clone();
+        once.sort_rows();
+        let mut twice = once.clone();
+        twice.sort_rows();
+        prop_assert!(once.approx_eq(&twice, 0.0, 0.0));
+        prop_assert!(once.is_sorted());
+    }
+
+    #[test]
+    fn add_is_commutative_and_matches_dense(
+        pair in (1usize..16, 1usize..16).prop_flat_map(|(r, c)| {
+            // Two matrices with the SAME shape.
+            let gen = move |seed_off: u64| {
+                proptest::collection::vec(
+                    (0..r as u32, 0..c as u32, (1i32..100).prop_map(|v| v as f64 / 4.0)),
+                    0..40,
+                )
+                .prop_map(move |trips| {
+                    let _ = seed_off;
+                    let mut coo: Coo<f64> = Coo::new(r, c);
+                    for (rr, cc, v) in trips {
+                        coo.push(rr, cc, v);
+                    }
+                    coo.to_csr()
+                })
+            };
+            (gen(0), gen(1))
+        }),
+    ) {
+        let (a, b) = pair;
+        let ab = add(&a, &b).unwrap();
+        let ba = add(&b, &a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-12, 1e-12));
+        ab.validate().unwrap();
+        let da = DenseMatrix::from_csr(&a);
+        let db = DenseMatrix::from_csr(&b);
+        let dc = DenseMatrix::from_csr(&ab);
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                prop_assert!((dc.get(r, c) - (da.get(r, c) + db.get(r, c))).abs() < 1e-9);
+            }
+        }
+        // alpha*A + 0*A == scale(A, alpha).
+        let s = add_scaled(2.5, &a, 0.0, &a).unwrap();
+        prop_assert!(s.approx_eq(&scale(&a, 2.5), 1e-12, 1e-12));
+        // Diagonal of A+B is the sum of diagonals.
+        let d_ab = diagonal(&ab);
+        let d_a = diagonal(&a);
+        let d_b = diagonal(&b);
+        for i in 0..d_ab.len() {
+            prop_assert!((d_ab[i] - (d_a[i] + d_b[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn products_equals_reference_expansion(m in arb_csr(16, 60)) {
+        // products() needs compatible shapes; pair the matrix with its
+        // transpose, which is always multipliable.
+        let t = transpose(&m);
+        let mut count = 0u64;
+        for (_, cols, _) in m.iter_rows() {
+            for &k in cols {
+                count += t.row_nnz(k as usize) as u64;
+            }
+        }
+        prop_assert_eq!(m.products(&t), count);
+    }
+}
