@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+#
+#   ./ci.sh           # fmt + clippy + tests
+#   ./ci.sh --bench   # ... plus the wall-clock throughput benchmark
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) run_bench=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace, release)"
+cargo test --workspace --release
+
+if [ "$run_bench" -eq 1 ]; then
+    echo "==> throughput benchmark"
+    cargo run --release -p speck-bench --bin bench_throughput -- 3 BENCH_throughput.json
+fi
+
+echo "CI OK"

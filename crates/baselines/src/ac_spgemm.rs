@@ -47,11 +47,7 @@ type PartialRows = Vec<(u32, Vec<u32>, Vec<f64>)>;
 
 /// Total elements emitted across all chunks (pre-merge output size).
 fn per_row_nnz_estimate(partials: &[PartialRows]) -> usize {
-    partials
-        .iter()
-        .flatten()
-        .map(|(_, c, _)| c.len())
-        .sum()
+    partials.iter().flatten().map(|(_, c, _)| c.len()).sum()
 }
 
 impl SpgemmMethod for AcSpgemm {
@@ -102,13 +98,8 @@ impl SpgemmMethod for AcSpgemm {
         // ESC each chunk in scratchpad.
         let threads = 256;
         let kc = KernelConfig::new(threads, 48 * 1024);
-        let (report, partials): (_, Vec<PartialRows>) = launch_map(
-            dev,
-            cost,
-            "ac_chunk_esc",
-            chunks.len(),
-            kc,
-            |ctx| {
+        let (report, partials): (_, Vec<PartialRows>) =
+            launch_map(dev, cost, "ac_chunk_esc", chunks.len(), kc, |ctx| {
                 let chunk = &chunks[ctx.block_id()];
                 let mut pairs: Vec<(u64, f64)> = Vec::new();
                 let mut tx = 0u64;
@@ -163,8 +154,7 @@ impl SpgemmMethod for AcSpgemm {
                 ctx.charge_gmem_store(emitted, 12);
                 ctx.charge_gmem_atomic(3);
                 out
-            },
-        );
+            });
         acct.kernel(&report);
 
         // The real AC pipeline is several kernels beyond the ESC itself:

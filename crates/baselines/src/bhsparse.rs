@@ -34,7 +34,10 @@ fn accumulate_row(a: &Csr<f64>, b: &Csr<f64>, r: usize) -> (Vec<u32>, Vec<f64>) 
             *map.entry(c).or_insert(0.0) += av * v;
         }
     }
-    (map.keys().copied().collect(), map.values().copied().collect())
+    (
+        map.keys().copied().collect(),
+        map.values().copied().collect(),
+    )
 }
 
 impl SpgemmMethod for BhSparse {
@@ -63,7 +66,7 @@ impl SpgemmMethod for BhSparse {
         // every large row gets a products-sized scratch region.
         let large_products: u64 = products.iter().filter(|&&p| p > MEDIUM_MAX).sum();
         acct.alloc(large_products as usize * 18); // 1.5x for buffer doubling
-        // Medium/tiny staging buffers.
+                                                  // Medium/tiny staging buffers.
         acct.alloc((total_products - large_products) as usize * 12);
         if let Err(e) = acct.check_memory() {
             return MethodResult::failure(e);
@@ -98,7 +101,7 @@ impl SpgemmMethod for BhSparse {
             let (report, outs): (_, Vec<BlockRows>) = launch_map(
                 dev,
                 cost,
-                &format!("bh_bin{bin_idx}"),
+                format!("bh_bin{bin_idx}"),
                 grid,
                 KernelConfig::new(threads, scratch),
                 |ctx| {
@@ -130,7 +133,9 @@ impl SpgemmMethod for BhSparse {
                                 ctx.charge_gmem_stream(threads, p as usize, 12);
                                 let logn = (p.max(2) as f64).log2().ceil() as u64;
                                 let warps = (threads as u64).div_ceil(32);
-                                ctx.charge_sort_steps(p * logn * logn / threads as u64 * warps + logn);
+                                ctx.charge_sort_steps(
+                                    p * logn * logn / threads as u64 * warps + logn,
+                                );
                                 ctx.charge_smem(2 * p);
                                 ctx.charge_rounds(p.div_ceil(threads as u64));
                             }
@@ -198,9 +203,9 @@ mod tests {
         let dev = DeviceConfig::titan_v();
         let cost = CostModel::default();
         for a in [
-            banded(500, 1, 1.0, 1),              // tiny bin
-            uniform_random(300, 300, 8, 12, 2),  // medium bin
-            rmat(9, 8, 0.57, 0.19, 0.19, 3),     // mixed, incl. large
+            banded(500, 1, 1.0, 1),             // tiny bin
+            uniform_random(300, 300, 8, 12, 2), // medium bin
+            rmat(9, 8, 0.57, 0.19, 0.19, 3),    // mixed, incl. large
         ] {
             let r = BhSparse.multiply(&dev, &cost, &a, &a);
             assert!(r.ok());

@@ -22,7 +22,7 @@ pub fn products_per_row(a: &Csr<f64>, b: &Csr<f64>) -> Vec<u64> {
 pub fn charge_count_kernel(
     dev: &DeviceConfig,
     cost: &CostModel,
-    name: &str,
+    name: &'static str,
     rows: usize,
     nnz_a: usize,
 ) -> KernelReport {
@@ -32,11 +32,18 @@ pub fn charge_count_kernel(
         .clamp(dev.warp_size, 4096);
     let grid = rows.div_ceil(rows_per_block).max(1);
     let per_block_nnz = nnz_a.div_ceil(grid.max(1));
-    launch(dev, cost, name, grid, KernelConfig::new(threads, 0), |ctx| {
-        ctx.charge_gmem_stream(threads, rows_per_block, 8);
-        ctx.charge_gmem_stream(threads, per_block_nnz, 4);
-        ctx.charge_gmem_scatter(per_block_nnz as u64);
-    })
+    launch(
+        dev,
+        cost,
+        name,
+        grid,
+        KernelConfig::new(threads, 0),
+        |ctx| {
+            ctx.charge_gmem_stream(threads, rows_per_block, 8);
+            ctx.charge_gmem_stream(threads, per_block_nnz, 4);
+            ctx.charge_gmem_scatter(per_block_nnz as u64);
+        },
+    )
 }
 
 /// Charges the scatter-style binning kernel used by nsparse/bhSPARSE: one
@@ -45,18 +52,25 @@ pub fn charge_count_kernel(
 pub fn charge_scatter_binning(
     dev: &DeviceConfig,
     cost: &CostModel,
-    name: &str,
+    name: &'static str,
     rows: usize,
 ) -> KernelReport {
     let threads = 256;
     let per_block = threads * 16;
     let grid = rows.div_ceil(per_block).max(1);
-    launch(dev, cost, name, grid, KernelConfig::new(threads, 0), |ctx| {
-        let n = per_block.min(rows.saturating_sub(ctx.block_id() * per_block));
-        ctx.charge_gmem_stream(threads, n, 4);
-        ctx.charge_gmem_atomic(n as u64); // per-row atomic append
-        ctx.charge_gmem_scatter(n as u64); // scattered row-id store
-    })
+    launch(
+        dev,
+        cost,
+        name,
+        grid,
+        KernelConfig::new(threads, 0),
+        |ctx| {
+            let n = per_block.min(rows.saturating_sub(ctx.block_id() * per_block));
+            ctx.charge_gmem_stream(threads, n, 4);
+            ctx.charge_gmem_atomic(n as u64); // per-row atomic append
+            ctx.charge_gmem_scatter(n as u64); // scattered row-id store
+        },
+    )
 }
 
 /// Simple accumulator of kernel reports + fixed costs into a total time,
@@ -86,9 +100,7 @@ impl RunAccounting {
     /// Adds one allocation's fixed overhead and tracks its bytes.
     pub fn alloc(&mut self, bytes: usize) {
         self.mem.alloc(bytes);
-        self.seconds += self
-            .dev
-            .cycles_to_seconds(self.dev.alloc_overhead_cycles);
+        self.seconds += self.dev.cycles_to_seconds(self.dev.alloc_overhead_cycles);
     }
 
     /// Tracks the output matrix: memory counted, allocation time not

@@ -43,11 +43,18 @@ impl SpgemmMethod for CuspEsc {
         let threads = dev.max_threads_per_block;
         let per_block = threads * 8;
         let grid = products.div_ceil(per_block).max(1);
-        let expand = launch(dev, cost, "esc_expand", grid, KernelConfig::new(threads, 0), |ctx| {
-            let n = per_block.min(products.saturating_sub(ctx.block_id() * per_block));
-            ctx.charge_gmem_stream(threads, n, 12); // read A/B elements
-            ctx.charge_gmem_stream(threads, n, 16); // write expanded pairs
-        });
+        let expand = launch(
+            dev,
+            cost,
+            "esc_expand",
+            grid,
+            KernelConfig::new(threads, 0),
+            |ctx| {
+                let n = per_block.min(products.saturating_sub(ctx.block_id() * per_block));
+                ctx.charge_gmem_stream(threads, n, 12); // read A/B elements
+                ctx.charge_gmem_stream(threads, n, 16); // write expanded pairs
+            },
+        );
         acct.kernel(&expand);
 
         // Functional expand on the host side.
@@ -65,15 +72,22 @@ impl SpgemmMethod for CuspEsc {
         // --- Sort: 8-bit-digit radix over 64-bit keys = 8 passes, each a
         // full read + scatter write of every product, plus ping-pong buffer.
         acct.alloc(products * 16);
-        let sort = launch(dev, cost, "esc_sort", grid, KernelConfig::new(threads, 8 * 1024), |ctx| {
-            let n = per_block.min(products.saturating_sub(ctx.block_id() * per_block));
-            for _ in 0..8 {
-                ctx.charge_gmem_stream(threads, n, 16);
-                ctx.charge_smem_atomic(n as u64);
-                ctx.charge_gmem_scatter(n as u64 / 4);
-                ctx.charge_sync();
-            }
-        });
+        let sort = launch(
+            dev,
+            cost,
+            "esc_sort",
+            grid,
+            KernelConfig::new(threads, 8 * 1024),
+            |ctx| {
+                let n = per_block.min(products.saturating_sub(ctx.block_id() * per_block));
+                for _ in 0..8 {
+                    ctx.charge_gmem_stream(threads, n, 16);
+                    ctx.charge_smem_atomic(n as u64);
+                    ctx.charge_gmem_scatter(n as u64 / 4);
+                    ctx.charge_sync();
+                }
+            },
+        );
         acct.kernel(&sort);
         pairs.sort_unstable_by_key(|&(k, _)| k);
 

@@ -47,7 +47,7 @@ impl SpgemmMethod for CusparseLike {
         }
 
         // Phase 1: symbolic, every product one global atomic insert.
-        let run_phase = |name: &str, numeric: bool| {
+        let run_phase = |name: &'static str, numeric: bool| {
             launch_map(dev, cost, name, grid, kc, |ctx| {
                 let start = ctx.block_id() * ROWS_PER_BLOCK;
                 let end = (start + ROWS_PER_BLOCK).min(n);
@@ -55,12 +55,8 @@ impl SpgemmMethod for CusparseLike {
                 for r in start..end {
                     let (a_cols, a_vals) = a.row(r);
                     // Oversized so collisions stay bounded; still global.
-                    let cap = (a_cols
-                        .iter()
-                        .map(|&k| b.row_nnz(k as usize))
-                        .sum::<usize>()
-                        * 2)
-                    .max(4);
+                    let cap =
+                        (a_cols.iter().map(|&k| b.row_nnz(k as usize)).sum::<usize>() * 2).max(4);
                     let mut acc: Accumulator<f64> = Accumulator::new(cap);
                     let mut tx = 0u64;
                     let mut p = 0u64;

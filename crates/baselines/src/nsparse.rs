@@ -17,6 +17,7 @@ use speck_core::config::{LocalLbMode, SpeckConfig};
 use speck_core::global_lb::{AccMethod, BlockPlan, PassPlan, ThresholdSet};
 use speck_core::numeric::run_numeric;
 use speck_core::symbolic::run_symbolic;
+use speck_core::WorkspacePool;
 use speck_simt::{CostModel, DeviceConfig};
 use speck_sparse::Csr;
 
@@ -37,13 +38,11 @@ fn nsparse_config() -> SpeckConfig {
 
 /// Builds nsparse's unconditional product-count binning plan.
 #[doc(hidden)]
-pub fn debug_plan(cascade: &KernelCascade, entries: &[u64], entry_bytes: usize) -> PassPlan { plan(cascade, entries, entry_bytes) }
+pub fn debug_plan(cascade: &KernelCascade, entries: &[u64], entry_bytes: usize) -> PassPlan {
+    plan(cascade, entries, entry_bytes)
+}
 
-fn plan(
-    cascade: &KernelCascade,
-    entries: &[u64],
-    entry_bytes: usize,
-) -> PassPlan {
+fn plan(cascade: &KernelCascade, entries: &[u64], entry_bytes: usize) -> PassPlan {
     let largest = cascade.largest();
     let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cascade.len()];
     for (r, &e) in entries.iter().enumerate() {
@@ -117,14 +116,25 @@ impl SpgemmMethod for NsparseLike {
         let mut acct = RunAccounting::new(dev);
 
         // Step 1: count temporary products per row (first analysis).
-        acct.kernel(&charge_count_kernel(dev, cost, "nsparse_count", a.rows(), a.nnz()));
+        acct.kernel(&charge_count_kernel(
+            dev,
+            cost,
+            "nsparse_count",
+            a.rows(),
+            a.nnz(),
+        ));
         // Host-side: we also need the full analysis record to drive the
         // shared kernels, but charge only what nsparse actually reads.
         let (info, _) = analyze(dev, cost, a, b);
         acct.alloc(a.rows() * 8);
 
         // Step 2: unconditional scatter binning for the symbolic pass.
-        acct.kernel(&charge_scatter_binning(dev, cost, "nsparse_bin_sym", a.rows()));
+        acct.kernel(&charge_scatter_binning(
+            dev,
+            cost,
+            "nsparse_bin_sym",
+            a.rows(),
+        ));
         let sym_entry = symbolic_entry_bytes(b.cols());
         let sym_entries: Vec<u64> = info.rows.iter().map(|r| r.products).collect();
         let splan = plan(&cascade, &sym_entries, sym_entry);
@@ -142,7 +152,8 @@ impl SpgemmMethod for NsparseLike {
         }
 
         // Step 3: symbolic pass.
-        let sym = run_symbolic(dev, cost, &cascade, &cfg, a, b, &info, &splan);
+        let pool = WorkspacePool::new();
+        let sym = run_symbolic(dev, cost, &cascade, &cfg, a, b, &info, &splan, &pool);
         for r in &sym.reports {
             acct.kernel(r);
         }
@@ -153,7 +164,12 @@ impl SpgemmMethod for NsparseLike {
 
         // Step 4: numeric binning (scatter again) on exact sizes; hash maps
         // are the next power of two of the row size (fill up to ~1.0).
-        acct.kernel(&charge_scatter_binning(dev, cost, "nsparse_bin_num", a.rows()));
+        acct.kernel(&charge_scatter_binning(
+            dev,
+            cost,
+            "nsparse_bin_num",
+            a.rows(),
+        ));
         let num_entry = numeric_entry_bytes(b.cols(), 8);
         let num_entries: Vec<u64> = sym
             .row_nnz
@@ -165,7 +181,18 @@ impl SpgemmMethod for NsparseLike {
 
         // Step 5: numeric pass + sorting (run_numeric charges the trailing
         // radix pass for the larger bins).
-        let num = run_numeric(dev, cost, &cascade, &cfg, a, b, &info, &nplan, &sym.row_nnz);
+        let num = run_numeric(
+            dev,
+            cost,
+            &cascade,
+            &cfg,
+            a,
+            b,
+            &info,
+            &nplan,
+            &sym.row_nnz,
+            &pool,
+        );
         for r in &num.reports {
             acct.kernel(r);
         }

@@ -95,10 +95,7 @@ impl SpgemmMethod for RMergeLike {
                         .zip(a_vals)
                         .map(|(&k, &av)| {
                             let (bc, bv) = b.row(k as usize);
-                            bc.iter()
-                                .zip(bv)
-                                .map(|(&c, &v)| (c, av * v))
-                                .collect()
+                            bc.iter().zip(bv).map(|(&c, &v)| (c, av * v)).collect()
                         })
                         .collect();
                     // Level 0 is materialised: read each scaled row of B
@@ -166,7 +163,9 @@ impl SpgemmMethod for RMergeLike {
         // launch over the whole matrix (the factor decomposition of A).
         let max_nnz_a = (0..n).map(|r| a.row_nnz(r)).max().unwrap_or(0);
         let levels = (max_nnz_a.max(2) as f64).log2().ceil() as usize;
-        acct.fixed(levels.saturating_sub(1) as f64 * dev.cycles_to_seconds(dev.launch_overhead_cycles));
+        acct.fixed(
+            levels.saturating_sub(1) as f64 * dev.cycles_to_seconds(dev.launch_overhead_cycles),
+        );
 
         let mut row_ptr = Vec::with_capacity(n + 1);
         row_ptr.push(0usize);

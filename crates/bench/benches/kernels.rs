@@ -93,7 +93,11 @@ fn bench_partitioned(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("four_bands", |b| {
         let budget = a.size_bytes() * 2;
-        b.iter(|| multiply_partitioned(&dev, &cost, &cfg, &a, &a, budget).1.bands)
+        b.iter(|| {
+            multiply_partitioned(&dev, &cost, &cfg, &a, &a, budget)
+                .1
+                .bands
+        })
     });
     group.finish();
 }

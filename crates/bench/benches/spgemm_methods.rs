@@ -26,11 +26,9 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     for (name, a) in &mats {
         for method in all_methods() {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), name),
-                a,
-                |bench, a| bench.iter(|| method.multiply(&dev, &cost, a, a)),
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), name), a, |bench, a| {
+                bench.iter(|| method.multiply(&dev, &cost, a, a))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,136 @@
+//! Wall-clock throughput benchmark of the spECK engine.
+//!
+//! Reuses ONE engine across every multiplication (exercising workspace
+//! reuse) and reports host-side throughput in matrices/second, peak RSS,
+//! and per-stage wall time. Results go to `BENCH_throughput.json` at the
+//! repo root in a machine-readable form.
+//!
+//! A digest of every simulated time and memory figure is included so that
+//! host-side optimisations can be checked for *simulation neutrality*: the
+//! digest must be bit-identical before and after any change that only
+//! touches host execution (see DESIGN.md §3).
+//!
+//! Usage: `cargo run --release --bin bench_throughput [-- ROUNDS [OUT [BASELINE_MPS]]]`
+//!
+//! `BASELINE_MPS` is a reference throughput (matrices/second) measured on
+//! the same machine — typically a pre-optimisation build run back-to-back
+//! with this one; when given, the report includes the speedup against it.
+
+use speck_bench::corpus::{common_corpus, smoke_corpus};
+use speck_core::SpeckSpgemm;
+use speck_sparse::Csr;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FNV-1a over a byte stream: order-sensitive, bit-exact.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn push_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` (VmHWM).
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
+    let baseline_mps: Option<f64> = args.next().and_then(|s| s.parse().ok());
+
+    // Corpus: the paper's "common" matrices plus the fast smoke subset —
+    // mixes large multiplications with launch-overhead-bound tiny ones.
+    let mut specs = common_corpus();
+    specs.extend(smoke_corpus());
+
+    let t_build = Instant::now();
+    let pairs: Vec<(String, Csr<f64>, Csr<f64>)> = specs
+        .iter()
+        .map(|s| {
+            let (a, b) = s.build();
+            (s.name.clone(), a, b)
+        })
+        .collect();
+    let build_s = t_build.elapsed().as_secs_f64();
+
+    let engine = SpeckSpgemm::default();
+    let mut digest = Digest::new();
+    let mut total_nnz_c = 0u64;
+
+    // Warm-up round: populate the engine's reusable workspaces and page in
+    // the matrices, so the timed rounds measure steady-state throughput.
+    for (_, a, b) in &pairs {
+        let (c, _) = engine.multiply(a, b);
+        total_nnz_c += c.nnz() as u64;
+    }
+
+    let t_mult = Instant::now();
+    let mut multiplies = 0usize;
+    for _ in 0..rounds {
+        for (_, a, b) in &pairs {
+            let (_, report) = engine.multiply(a, b);
+            digest.push_u64(report.sim_time_s.to_bits());
+            digest.push_u64(report.peak_mem_bytes as u64);
+            multiplies += 1;
+        }
+    }
+    let mult_s = t_mult.elapsed().as_secs_f64();
+    let matrices_per_sec = multiplies as f64 / mult_s;
+    let rss = peak_rss_bytes();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"throughput\",");
+    let _ = writeln!(json, "  \"corpus_size\": {},", pairs.len());
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"multiplies\": {multiplies},");
+    let _ = writeln!(json, "  \"matrices_per_sec\": {matrices_per_sec:.3},");
+    if let Some(base) = baseline_mps {
+        let _ = writeln!(json, "  \"baseline_matrices_per_sec\": {base:.3},");
+        let _ = writeln!(
+            json,
+            "  \"speedup_vs_baseline\": {:.3},",
+            matrices_per_sec / base
+        );
+    }
+    let _ = writeln!(json, "  \"total_nnz_c_per_round\": {total_nnz_c},");
+    let _ = writeln!(json, "  \"peak_rss_bytes\": {rss},");
+    let _ = writeln!(json, "  \"stage_wall_s\": {{");
+    let _ = writeln!(json, "    \"build_corpus\": {build_s:.3},");
+    let _ = writeln!(json, "    \"multiply\": {mult_s:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sim_digest\": \"{:016x}\"", digest.0);
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    println!("{json}");
+    println!(
+        "throughput: {matrices_per_sec:.2} matrices/s over {multiplies} multiplies \
+         ({mult_s:.2}s); sim digest {:016x}; wrote {out_path}",
+        digest.0
+    );
+}

@@ -11,6 +11,10 @@ fn main() {
     let cost = CostModel::default();
     let records = run_corpus(&dev, &cost, &common_corpus(), true);
     let (table, csv) = fig10_memory::run(&records);
-    emit("Fig. 10: peak memory on common matrices", "fig10.txt", table);
+    emit(
+        "Fig. 10: peak memory on common matrices",
+        "fig10.txt",
+        table,
+    );
     write_out("fig10.csv", &csv);
 }

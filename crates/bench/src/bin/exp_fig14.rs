@@ -8,6 +8,10 @@ fn main() {
     let dev = DeviceConfig::titan_v();
     let cost = CostModel::default();
     let (table, csv) = fig14_global_lb::run(&dev, &cost);
-    emit("Fig. 14: global load balancing decision", "fig14.txt", table);
+    emit(
+        "Fig. 14: global load balancing decision",
+        "fig14.txt",
+        table,
+    );
     write_out("fig14.csv", &csv);
 }

@@ -23,5 +23,9 @@ fn main() {
         rows.push(row);
     }
     write_out("fig15.csv", &render_csv(&rows));
-    println!("Fig. 15 written: {} matrices x {} methods", records.len(), methods.len());
+    println!(
+        "Fig. 15 written: {} matrices x {} methods",
+        records.len(),
+        methods.len()
+    );
 }

@@ -11,6 +11,10 @@ fn main() {
     let cost = CostModel::default();
     let records = run_corpus(&dev, &cost, &full_corpus(), true);
     let (table, csv) = fig7_slowdown::run(&records);
-    emit("Fig. 7: slowdown to fastest (>15k products)", "fig7.txt", table);
+    emit(
+        "Fig. 7: slowdown to fastest (>15k products)",
+        "fig7.txt",
+        table,
+    );
     write_out("fig7.csv", &csv);
 }

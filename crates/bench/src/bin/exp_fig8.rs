@@ -3,5 +3,9 @@
 use speck_bench::experiments::{emit, fig8_patterns};
 
 fn main() {
-    emit("Fig. 8: non-zero patterns", "fig8.txt", fig8_patterns::run(48));
+    emit(
+        "Fig. 8: non-zero patterns",
+        "fig8.txt",
+        fig8_patterns::run(48),
+    );
 }

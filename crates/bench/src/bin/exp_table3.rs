@@ -9,5 +9,9 @@ fn main() {
     let dev = DeviceConfig::titan_v();
     let cost = CostModel::default();
     let records = run_corpus(&dev, &cost, &full_corpus(), true);
-    emit("Table 3: overall statistics", "table3.txt", table3_overall::run(&records));
+    emit(
+        "Table 3: overall statistics",
+        "table3.txt",
+        table3_overall::run(&records),
+    );
 }

@@ -3,5 +3,9 @@
 use speck_bench::experiments::{emit, table4_common_stats};
 
 fn main() {
-    emit("Table 4: common matrices", "table4.txt", table4_common_stats::run());
+    emit(
+        "Table 4: common matrices",
+        "table4.txt",
+        table4_common_stats::run(),
+    );
 }

@@ -18,8 +18,16 @@ fn main() {
     let t0 = std::time::Instant::now();
 
     // Static experiments (no method runs needed).
-    emit("Fig. 8: non-zero patterns", "fig8.txt", fig8_patterns::run(48));
-    emit("Table 4: common matrices", "table4.txt", table4_common_stats::run());
+    emit(
+        "Fig. 8: non-zero patterns",
+        "fig8.txt",
+        fig8_patterns::run(48),
+    );
+    emit(
+        "Table 4: common matrices",
+        "table4.txt",
+        table4_common_stats::run(),
+    );
     emit(
         "Table 1: method characteristics",
         "table1.txt",
@@ -29,7 +37,11 @@ fn main() {
     // The full-corpus sweep feeds Table 3, Fig. 6, Fig. 7 and Fig. 15.
     eprintln!("[corpus sweep: all methods x full corpus]");
     let records = run_corpus(&dev, &cost, &full_corpus(), true);
-    emit("Table 3: overall statistics", "table3.txt", table3_overall::run(&records));
+    emit(
+        "Table 3: overall statistics",
+        "table3.txt",
+        table3_overall::run(&records),
+    );
     let (t, csv) = fig6_trend::run(&records);
     emit("Fig. 6: GFLOPS over products", "fig6.txt", t);
     write_out("fig6.csv", &csv);
@@ -100,5 +112,8 @@ fn main() {
         ablations::cost_model_sensitivity(&dev),
     );
 
-    eprintln!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -49,9 +49,7 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--iterations" => {
-                o.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(5)
-            }
+            "--iterations" => o.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(5),
             "--warmup" => o.warmup = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--individual-times" => o.individual = true,
             "--compare" => o.compare = true,
@@ -100,12 +98,7 @@ fn main() {
     let o = parse_args();
     let (a, label) = load(&o);
     println!("matrix: {label}");
-    println!(
-        "  {} x {} with {} non-zeros",
-        a.rows(),
-        a.cols(),
-        a.nnz()
-    );
+    println!("  {} x {} with {} non-zeros", a.rows(), a.cols(), a.nnz());
 
     // Square matrices: C = A*A; rectangular: C = A*A^T (paper §6).
     let (a, b) = if a.rows() == a.cols() {

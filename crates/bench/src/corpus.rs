@@ -92,7 +92,12 @@ pub fn full_corpus() -> Vec<CorpusSpec> {
             move || poisson_2d(nx, ny, 0.01, s),
         ));
     }
-    for &(nx, ny, nz) in &[(8usize, 8usize, 8usize), (20, 20, 20), (40, 40, 40), (64, 64, 32)] {
+    for &(nx, ny, nz) in &[
+        (8usize, 8usize, 8usize),
+        (20, 20, 20),
+        (40, 40, 40),
+        (64, 64, 32),
+    ] {
         let s = next();
         specs.push(CorpusSpec::square(
             format!("poisson3d_{nx}x{ny}x{nz}"),
@@ -270,8 +275,10 @@ mod tests {
     fn specs_build_valid_compatible_pairs() {
         for spec in smoke_corpus() {
             let (a, b) = spec.build();
-            a.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-            b.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            a.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            b.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(a.cols(), b.rows(), "{}", spec.name);
         }
     }

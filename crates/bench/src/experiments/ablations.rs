@@ -26,9 +26,13 @@ pub fn block_merge_ablation(dev: &DeviceConfig, cost: &CostModel) -> String {
         "merge off [ms]".into(),
         "off/on".into(),
     ]];
-    for (i, &(n, lo, hi)) in [(20_000usize, 1usize, 3usize), (40_000, 1, 2), (60_000, 2, 4)]
-        .iter()
-        .enumerate()
+    for (i, &(n, lo, hi)) in [
+        (20_000usize, 1usize, 3usize),
+        (40_000, 1, 2),
+        (60_000, 2, 4),
+    ]
+    .iter()
+    .enumerate()
     {
         let a = uniform_random(n, n, lo, hi, 800 + i as u64);
         let t_on = on.multiply(dev, cost, &a, &a).sim_time_s;

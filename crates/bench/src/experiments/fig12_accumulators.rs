@@ -105,7 +105,11 @@ mod tests {
         );
         // The full configuration is never much worse than the best.
         for p in &points {
-            assert!(p.slowdowns[2] < 1.5, "full config slowdown {}", p.slowdowns[2]);
+            assert!(
+                p.slowdowns[2] < 1.5,
+                "full config slowdown {}",
+                p.slowdowns[2]
+            );
         }
     }
 }

@@ -30,7 +30,10 @@ fn sweep_matrices() -> Vec<(String, Csr<f64>)> {
     }
     // Skewed small-to-large (binning pays off at scale).
     for &s in &[7u32, 9, 11, 13] {
-        v.push((format!("rmat_{s}"), rmat(s, 8, 0.57, 0.19, 0.19, 700 + s as u64)));
+        v.push((
+            format!("rmat_{s}"),
+            rmat(s, 8, 0.57, 0.19, 0.19, 700 + s as u64),
+        ));
     }
     v
 }

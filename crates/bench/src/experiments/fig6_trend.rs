@@ -25,7 +25,11 @@ pub fn trend(records: &[MatrixRecord]) -> TrendSeries {
         let l = (p.max(1) as f64).log10();
         ((l * 2.0).floor() as usize).saturating_sub(6) // 1e3 -> 0
     };
-    let n_buckets = records.iter().map(|r| bucket_of(r.products) + 1).max().unwrap_or(0);
+    let n_buckets = records
+        .iter()
+        .map(|r| bucket_of(r.products) + 1)
+        .max()
+        .unwrap_or(0);
     let mut buckets = Vec::with_capacity(n_buckets);
     for i in 0..n_buckets {
         buckets.push(10f64.powf((i as f64 + 6.0) / 2.0) as u64);
@@ -57,7 +61,13 @@ pub fn trend(records: &[MatrixRecord]) -> TrendSeries {
             let means = sums
                 .iter()
                 .zip(&counts)
-                .map(|(&s, &c)| if c == 0 { f64::NAN } else { (s / c as f64).exp() })
+                .map(|(&s, &c)| {
+                    if c == 0 {
+                        f64::NAN
+                    } else {
+                        (s / c as f64).exp()
+                    }
+                })
                 .collect();
             (m.clone(), means)
         })

@@ -19,7 +19,11 @@ pub fn run(records: &[MatrixRecord]) -> (String, String) {
         let mut row = vec![r.name.clone()];
         for m in &methods {
             let g = r.gflops(m);
-            row.push(if g > 0.0 { format!("{g:.2}") } else { "-".into() });
+            row.push(if g > 0.0 {
+                format!("{g:.2}")
+            } else {
+                "-".into()
+            });
         }
         let winner = r
             .runs

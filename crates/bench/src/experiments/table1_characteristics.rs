@@ -118,7 +118,10 @@ mod tests {
         // The spECK row must list every regime (the paper's "all").
         let speck_line = body.lines().find(|l| l.starts_with("speck")).unwrap();
         for regime in ["very thin", "thin mesh", "medium", "skewed", "dense rows"] {
-            assert!(speck_line.contains(regime), "speck missing '{regime}': {speck_line}");
+            assert!(
+                speck_line.contains(regime),
+                "speck missing '{regime}': {speck_line}"
+            );
         }
         // RMerge's competitiveness must include the thin end.
         let rmerge_line = body.lines().find(|l| l.starts_with("rmerge")).unwrap();

@@ -53,7 +53,10 @@ pub fn run(dev: &DeviceConfig, cost: &CostModel, specs: &[CorpusSpec]) -> (Strin
         "num rows*".into(),
     ]];
     rows.push(thresholds_rows("tuned (this repo)", &cv.final_thresholds));
-    rows.push(thresholds_rows("paper Table 2", &GlobalLbThresholds::paper()));
+    rows.push(thresholds_rows(
+        "paper Table 2",
+        &GlobalLbThresholds::paper(),
+    ));
     rows.push(thresholds_rows(
         "shipped default",
         &GlobalLbThresholds::scaled_default(),

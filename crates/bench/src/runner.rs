@@ -73,9 +73,7 @@ impl MatrixRecord {
     /// GFLOPS of one method at the paper's 2-ops-per-product convention.
     pub fn gflops(&self, method: &str) -> f64 {
         match self.run(method) {
-            Some(r) if r.ok && r.time_s > 0.0 => {
-                (2 * self.products) as f64 / r.time_s / 1e9
-            }
+            Some(r) if r.ok && r.time_s > 0.0 => (2 * self.products) as f64 / r.time_s / 1e9,
             _ => 0.0,
         }
     }
@@ -113,7 +111,15 @@ pub fn run_pair(
 
     let mut runs = Vec::new();
     for method in all_methods() {
-        runs.push(run_method(dev, cost, method.as_ref(), a, b, &reference, validate));
+        runs.push(run_method(
+            dev,
+            cost,
+            method.as_ref(),
+            a,
+            b,
+            &reference,
+            validate,
+        ));
     }
     MatrixRecord {
         name: name.to_string(),

@@ -96,7 +96,10 @@ impl DeviceConfig {
             .scratch_per_sm
             .checked_div(scratch_bytes)
             .unwrap_or(usize::MAX);
-        self.max_blocks_per_sm.min(by_threads).min(by_scratch).max(1)
+        self.max_blocks_per_sm
+            .min(by_threads)
+            .min(by_scratch)
+            .max(1)
     }
 
     /// Maximum number of blocks concurrently resident on the whole device —

@@ -7,12 +7,14 @@ use crate::cost::{BlockCost, CostModel};
 use crate::device::DeviceConfig;
 use crate::kernel::KernelConfig;
 use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// Outcome of one simulated kernel launch.
 #[derive(Clone, Debug)]
 pub struct KernelReport {
-    /// Kernel name (for stage attribution).
-    pub name: String,
+    /// Kernel name (for stage attribution). Static for the fixed kernels,
+    /// owned only for per-config formatted names.
+    pub name: Cow<'static, str>,
     /// Number of blocks launched.
     pub grid: usize,
     /// Launch shape.
@@ -42,29 +44,60 @@ pub struct KernelReport {
 ///
 /// SM time = max(Σ compute, Σ memory, max serial, Σ serial / bpsm);
 /// kernel time = max over SMs.
+///
+/// Block i goes to the SM with the smallest serial load so far, lowest
+/// SM index on ties — implemented as a binary-heap selection, O(grid ·
+/// log num_SMs) instead of the naive O(grid · num_SMs) scan, with the
+/// identical (bit-exact) assignment: each SM appears in the heap exactly
+/// once, so popping the minimum `(load, index)` reproduces the scan's
+/// strict `<` lowest-index tie-break, and per-SM sums accumulate in the
+/// same block order.
 pub fn schedule_blocks(dev: &DeviceConfig, cfg: KernelConfig, blocks: &[(f64, f64)]) -> f64 {
+    use std::cmp::{Ordering, Reverse};
+    use std::collections::BinaryHeap;
+
     if blocks.is_empty() {
         return 0.0;
     }
+
+    /// Heap key: serial load first (total order — loads are non-negative
+    /// sums, so `total_cmp` agrees with `<`), SM index to break ties.
+    #[derive(PartialEq)]
+    struct SmLoad {
+        load: f64,
+        sm: usize,
+    }
+    impl Eq for SmLoad {}
+    impl Ord for SmLoad {
+        fn cmp(&self, o: &Self) -> Ordering {
+            self.load.total_cmp(&o.load).then(self.sm.cmp(&o.sm))
+        }
+    }
+    impl PartialOrd for SmLoad {
+        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+
     let bpsm = dev.blocks_per_sm(cfg.threads, cfg.scratch_bytes) as f64;
     let mut sm_compute = vec![0.0f64; dev.num_sms];
     let mut sm_memory = vec![0.0f64; dev.num_sms];
     let mut sm_serial = vec![0.0f64; dev.num_sms];
     let mut sm_max = vec![0.0f64; dev.num_sms];
+    let mut heap: BinaryHeap<Reverse<SmLoad>> = (0..dev.num_sms)
+        .map(|sm| Reverse(SmLoad { load: 0.0, sm }))
+        .collect();
     for &(c, m) in blocks {
-        // Least-loaded SM by serial load (deterministic scan).
-        let (mut best, mut best_load) = (0usize, f64::INFINITY);
-        for (i, &load) in sm_serial.iter().enumerate() {
-            if load < best_load {
-                best = i;
-                best_load = load;
-            }
-        }
+        let Reverse(SmLoad { load, sm }) = heap.pop().expect("one entry per SM");
         let serial = c.max(m);
-        sm_compute[best] += c;
-        sm_memory[best] += m;
-        sm_serial[best] += serial;
-        sm_max[best] = sm_max[best].max(serial);
+        sm_compute[sm] += c;
+        sm_memory[sm] += m;
+        sm_serial[sm] += serial;
+        sm_max[sm] = sm_max[sm].max(serial);
+        heap.push(Reverse(SmLoad {
+            load: load + serial,
+            sm,
+        }));
     }
     (0..dev.num_sms)
         .map(|i| {
@@ -81,7 +114,7 @@ pub fn schedule_blocks(dev: &DeviceConfig, cfg: KernelConfig, blocks: &[(f64, f6
 pub fn launch_map<R, F>(
     dev: &DeviceConfig,
     cost: &CostModel,
-    name: &str,
+    name: impl Into<Cow<'static, str>>,
     grid: usize,
     cfg: KernelConfig,
     f: F,
@@ -90,6 +123,7 @@ where
     R: Send,
     F: Fn(&mut BlockCtx) -> R + Sync,
 {
+    let name = name.into();
     assert!(
         cfg.threads <= dev.max_threads_per_block,
         "kernel {name}: {} threads exceed device limit {}",
@@ -103,28 +137,39 @@ where
         dev.scratch_max_per_block
     );
 
-    let results: Vec<(BlockCost, R)> = (0..grid)
+    // Per-block cycle splitting happens inside the parallel map; the
+    // remaining serial work is a plain unzip of already-computed values.
+    let results: Vec<(BlockCost, (f64, f64), R)> = (0..grid)
         .into_par_iter()
         .map(|block_id| {
             let mut ctx = BlockCtx::new(block_id, cfg, dev.transaction_bytes, dev.warp_size);
             let r = f(&mut ctx);
-            (ctx.into_cost(), r)
+            let c = ctx.into_cost();
+            let cycles = cost.split_cycles(&c);
+            (c, cycles, r)
         })
         .collect();
 
-    let mut total_cost = BlockCost::default();
+    let mut costs = Vec::with_capacity(grid);
     let mut block_cycles = Vec::with_capacity(grid);
     let mut outputs = Vec::with_capacity(grid);
-    for (c, r) in results {
-        total_cost = total_cost.merge(&c);
-        block_cycles.push(cost.split_cycles(&c));
+    for (c, cy, r) in results {
+        costs.push(c);
+        block_cycles.push(cy);
         outputs.push(r);
     }
+    // Parallel fold/reduce of the aggregate counters: every field is an
+    // integer sum, so the reduction is associative, and the chunk-ordered
+    // combination keeps it deterministic.
+    let total_cost = costs
+        .par_iter()
+        .map(|c| *c)
+        .reduce(BlockCost::default, |a, b| a.merge(&b));
 
     let body = schedule_blocks(dev, cfg, &block_cycles);
     let sim_cycles = body + dev.launch_overhead_cycles;
     let report = KernelReport {
-        name: name.to_string(),
+        name,
         grid,
         cfg,
         blocks_per_sm: dev.blocks_per_sm(cfg.threads, cfg.scratch_bytes),
@@ -178,7 +223,7 @@ impl KernelReport {
 pub fn launch<F>(
     dev: &DeviceConfig,
     cost: &CostModel,
-    name: &str,
+    name: impl Into<Cow<'static, str>>,
     grid: usize,
     cfg: KernelConfig,
     f: F,
@@ -200,7 +245,14 @@ mod tests {
     #[test]
     fn empty_grid_costs_only_launch_overhead() {
         let d = dev();
-        let r = launch(&d, &CostModel::default(), "k", 0, KernelConfig::new(32, 0), |_| {});
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "k",
+            0,
+            KernelConfig::new(32, 0),
+            |_| {},
+        );
         assert_eq!(r.sim_cycles, d.launch_overhead_cycles);
     }
 
@@ -225,10 +277,17 @@ mod tests {
     fn simulated_time_is_deterministic() {
         let d = dev();
         let run = || {
-            launch(&d, &CostModel::default(), "k", 64, KernelConfig::new(64, 0), |ctx| {
-                ctx.charge_rounds((ctx.block_id() as u64 % 7) * 10);
-                ctx.charge_gmem_tx(ctx.block_id() as u64);
-            })
+            launch(
+                &d,
+                &CostModel::default(),
+                "k",
+                64,
+                KernelConfig::new(64, 0),
+                |ctx| {
+                    ctx.charge_rounds((ctx.block_id() as u64 % 7) * 10);
+                    ctx.charge_gmem_tx(ctx.block_id() as u64);
+                },
+            )
             .sim_cycles
         };
         assert_eq!(run(), run());
@@ -292,22 +351,38 @@ mod tests {
     #[should_panic(expected = "exceed device limit")]
     fn oversized_block_rejected() {
         let d = dev();
-        launch(&d, &CostModel::default(), "k", 1, KernelConfig::new(4096, 0), |_| {});
+        launch(
+            &d,
+            &CostModel::default(),
+            "k",
+            1,
+            KernelConfig::new(4096, 0),
+            |_| {},
+        );
     }
 
     #[test]
     fn report_metrics_are_sane() {
         let d = DeviceConfig::titan_v();
-        let r = launch(&d, &CostModel::default(), "bw", 512, KernelConfig::new(256, 0), |ctx| {
-            ctx.charge_gmem_stream(256, 100_000, 8);
-        });
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "bw",
+            512,
+            KernelConfig::new(256, 0),
+            |ctx| {
+                ctx.charge_gmem_stream(256, 100_000, 8);
+            },
+        );
         // Achieved bandwidth must not exceed the model's aggregate ceiling
         // (num_sms * tx_bytes / c_gmem_tx per cycle).
         let cost = CostModel::default();
-        let ceiling =
-            d.num_sms as f64 * d.transaction_bytes as f64 / cost.c_gmem_tx * d.clock_ghz;
+        let ceiling = d.num_sms as f64 * d.transaction_bytes as f64 / cost.c_gmem_tx * d.clock_ghz;
         let bw = r.achieved_bandwidth_gbps(&d);
-        assert!(bw > 0.0 && bw <= ceiling * 1.01, "bw {bw} vs ceiling {ceiling}");
+        assert!(
+            bw > 0.0 && bw <= ceiling * 1.01,
+            "bw {bw} vs ceiling {ceiling}"
+        );
         assert!(r.body_cycles(&d) > 0.0);
         assert!(r.summary(&d).contains("bw:"));
     }
@@ -315,10 +390,17 @@ mod tests {
     #[test]
     fn total_cost_aggregates_blocks() {
         let d = dev();
-        let r = launch(&d, &CostModel::default(), "k", 10, KernelConfig::new(32, 0), |ctx| {
-            ctx.charge_rounds(2);
-            ctx.charge_smem(3);
-        });
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "k",
+            10,
+            KernelConfig::new(32, 0),
+            |ctx| {
+                ctx.charge_rounds(2);
+                ctx.charge_smem(3);
+            },
+        );
         assert_eq!(r.total_cost.issue_rounds, 20);
         assert_eq!(r.total_cost.smem_ops, 30);
     }

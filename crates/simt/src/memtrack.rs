@@ -30,7 +30,10 @@ impl MemTracker {
 
     /// Registers a free of `bytes`.
     pub fn free(&mut self, bytes: usize) {
-        assert!(bytes <= self.current, "MemTracker: freeing more than allocated");
+        assert!(
+            bytes <= self.current,
+            "MemTracker: freeing more than allocated"
+        );
         self.current -= bytes;
     }
 

@@ -15,10 +15,13 @@ pub struct StageTime {
 }
 
 /// Ordered collection of pipeline stages with simulated durations.
+///
+/// Stage names are `&'static str`: the pipeline's stage set is fixed at
+/// compile time, so the timeline never allocates for keys.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
-    stages: BTreeMap<String, StageTime>,
-    order: Vec<String>,
+    stages: BTreeMap<&'static str, StageTime>,
+    order: Vec<&'static str>,
 }
 
 impl Timeline {
@@ -27,23 +30,23 @@ impl Timeline {
         Self::default()
     }
 
-    fn stage_mut(&mut self, stage: &str) -> &mut StageTime {
+    fn stage_mut(&mut self, stage: &'static str) -> &mut StageTime {
         if !self.stages.contains_key(stage) {
-            self.order.push(stage.to_string());
-            self.stages.insert(stage.to_string(), StageTime::default());
+            self.order.push(stage);
+            self.stages.insert(stage, StageTime::default());
         }
         self.stages.get_mut(stage).unwrap()
     }
 
     /// Attributes a kernel launch to a stage.
-    pub fn add_kernel(&mut self, stage: &str, report: &KernelReport) {
+    pub fn add_kernel(&mut self, stage: &'static str, report: &KernelReport) {
         let s = self.stage_mut(stage);
         s.seconds += report.sim_time_s;
         s.launches += 1;
     }
 
     /// Attributes a fixed duration (e.g. a device allocation) to a stage.
-    pub fn add_fixed(&mut self, stage: &str, seconds: f64) {
+    pub fn add_fixed(&mut self, stage: &'static str, seconds: f64) {
         self.stage_mut(stage).seconds += seconds;
     }
 
@@ -53,10 +56,10 @@ impl Timeline {
     }
 
     /// Stages in first-touch order with their durations.
-    pub fn stages(&self) -> impl Iterator<Item = (&str, &StageTime)> {
+    pub fn stages(&self) -> impl Iterator<Item = (&'static str, &StageTime)> {
         self.order
             .iter()
-            .map(move |name| (name.as_str(), &self.stages[name]))
+            .map(move |&name| (name, &self.stages[name]))
     }
 
     /// Duration share of one stage in `[0, 1]`; 0 for unknown stages.
@@ -86,9 +89,16 @@ mod tests {
     #[test]
     fn stages_accumulate_and_share_sums_to_one() {
         let d = DeviceConfig::tiny();
-        let r = launch(&d, &CostModel::default(), "k", 4, KernelConfig::new(32, 0), |ctx| {
-            ctx.charge_rounds(100);
-        });
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "k",
+            4,
+            KernelConfig::new(32, 0),
+            |ctx| {
+                ctx.charge_rounds(100);
+            },
+        );
         let mut t = Timeline::new();
         t.add_kernel("analysis", &r);
         t.add_kernel("numeric", &r);

@@ -182,7 +182,9 @@ mod tests {
         let mut truth: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         let mut state = 12345u64;
         for _ in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = ((state >> 33) % 17) as u32;
             let c = ((state >> 13) % 13) as u32;
             let v = ((state % 100) as f64) - 50.0;

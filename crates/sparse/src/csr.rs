@@ -450,13 +450,8 @@ mod tests {
 
     #[test]
     fn sort_rows_combines_duplicates() {
-        let mut m = Csr::from_parts_unsorted(
-            1,
-            4,
-            vec![0, 4],
-            vec![3, 1, 3, 0],
-            vec![1.0, 2.0, 5.0, 7.0],
-        );
+        let mut m =
+            Csr::from_parts_unsorted(1, 4, vec![0, 4], vec![3, 1, 3, 0], vec![1.0, 2.0, 5.0, 7.0]);
         m.sort_rows();
         assert_eq!(m.row(0), (&[0u32, 1, 3][..], &[7.0, 2.0, 6.0][..]));
         m.validate().unwrap();

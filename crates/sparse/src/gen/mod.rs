@@ -21,8 +21,8 @@
 
 pub mod banded;
 pub mod blockdiag;
-pub mod hub;
 pub mod common;
+pub mod hub;
 pub mod powerlaw;
 pub mod random;
 pub mod rectangular;
@@ -30,8 +30,8 @@ pub mod stencil;
 
 pub use banded::banded;
 pub use blockdiag::block_diagonal;
-pub use hub::with_hub_rows;
 pub use common::{common_matrices, CommonMatrix};
+pub use hub::with_hub_rows;
 pub use powerlaw::rmat;
 pub use random::uniform_random;
 pub use rectangular::rectangular_lp;

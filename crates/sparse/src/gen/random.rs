@@ -32,7 +32,9 @@ pub fn uniform_random(
         }
         row_ptr.push(col_idx.len());
     }
-    finish(Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, vals))
+    finish(Csr::from_parts_unchecked(
+        rows, cols, row_ptr, col_idx, vals,
+    ))
 }
 
 #[cfg(test)]

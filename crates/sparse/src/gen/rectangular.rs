@@ -43,7 +43,9 @@ pub fn rectangular_lp(
         }
         row_ptr.push(col_idx.len());
     }
-    finish(Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, vals))
+    finish(Csr::from_parts_unchecked(
+        rows, cols, row_ptr, col_idx, vals,
+    ))
 }
 
 #[cfg(test)]

@@ -63,12 +63,10 @@ fn parse_header(line: &str) -> Result<(Field, Symmetry), SparseError> {
 /// Reads a MatrixMarket stream into CSR form.
 pub fn read_matrix_market<V: Scalar, R: Read>(reader: R) -> Result<Csr<V>, SparseError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| SparseError::Parse {
-            line: 1,
-            msg: "empty file".to_string(),
-        })??;
+    let header = lines.next().ok_or_else(|| SparseError::Parse {
+        line: 1,
+        msg: "empty file".to_string(),
+    })??;
     let (field, symmetry) = parse_header(&header)?;
 
     // Skip comments, find the size line.

@@ -119,13 +119,25 @@ mod tests {
     use crate::dense::DenseMatrix;
 
     fn sample_a() -> Csr<f64> {
-        Csr::from_parts(3, 3, vec![0, 2, 3, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     fn sample_b() -> Csr<f64> {
-        Csr::from_parts(3, 3, vec![0, 1, 3, 4], vec![1, 1, 2, 2], vec![5.0, 6.0, 7.0, 8.0])
-            .unwrap()
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 1, 3, 4],
+            vec![1, 1, 2, 2],
+            vec![5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -187,7 +199,10 @@ mod tests {
         // (I - w D^-1 A) stays square and keeps A's sparsity + diagonal.
         let a = sample_a();
         let d = diagonal(&a);
-        let dinv: Vec<f64> = d.iter().map(|&x| if x != 0.0 { 1.0 / x } else { 0.0 }).collect();
+        let dinv: Vec<f64> = d
+            .iter()
+            .map(|&x| if x != 0.0 { 1.0 / x } else { 0.0 })
+            .collect();
         let da = scale_rows(&a, &dinv);
         let i: Csr<f64> = Csr::identity(3);
         let s = add_scaled(1.0, &i, -0.5, &da).unwrap();

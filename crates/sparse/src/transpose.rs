@@ -41,14 +41,7 @@ mod tests {
 
     #[test]
     fn transpose_matches_dense() {
-        let m = Csr::from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let m = Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
         let t = transpose(&m);
         t.validate().unwrap();
         assert_eq!(t.rows(), 3);

@@ -92,8 +92,13 @@ pub fn analyze<V: Scalar>(
     let grid = n.div_ceil(rows_per_block);
     let cfg = KernelConfig::new(threads, 0);
 
-    let (report, per_block): (KernelReport, Vec<Vec<RowInfo>>) =
-        launch_map(dev, cost, "row_analysis", grid, cfg, |ctx: &mut BlockCtx| {
+    let (report, per_block): (KernelReport, Vec<Vec<RowInfo>>) = launch_map(
+        dev,
+        cost,
+        "row_analysis",
+        grid,
+        cfg,
+        |ctx: &mut BlockCtx| {
             let start = ctx.block_id() * rows_per_block;
             let end = (start + rows_per_block).min(n);
             let mut out = Vec::with_capacity(end - start);
@@ -136,7 +141,8 @@ pub fn analyze<V: Scalar>(
             ctx.charge_gmem_scatter(nnz_in_block as u64);
             ctx.charge_smem(2 * (end - start) as u64);
             out
-        });
+        },
+    );
 
     let mut rows = Vec::with_capacity(n);
     for block in per_block {
@@ -165,22 +171,10 @@ mod tests {
 
     #[test]
     fn matches_direct_computation_small() {
-        let a = Csr::from_parts(
-            3,
-            3,
-            vec![0, 2, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 1.0, 1.0],
-        )
-        .unwrap();
-        let b = Csr::from_parts(
-            3,
-            4,
-            vec![0, 2, 3, 6],
-            vec![1, 3, 0, 0, 1, 2],
-            vec![1.0; 6],
-        )
-        .unwrap();
+        let a =
+            Csr::from_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 1.0, 1.0]).unwrap();
+        let b =
+            Csr::from_parts(3, 4, vec![0, 2, 3, 6], vec![1, 3, 0, 0, 1, 2], vec![1.0; 6]).unwrap();
         let info = run(&a, &b);
         // Row 0 references B rows 0 (len 2, cols 1..3) and 2 (len 3, cols 0..2).
         assert_eq!(info.rows[0].products, 5);

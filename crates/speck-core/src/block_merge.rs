@@ -96,9 +96,30 @@ mod tests {
         // (the optimum [15, 16] is out of reach, as the paper notes).
         let (segs, _) = block_merge(&[7, 8, 3, 0, 1, 5, 4, 3], 16, true);
         assert_eq!(demands_of(&segs), vec![15, 3, 13]);
-        assert_eq!(segs[0], MergeSeg { start: 0, len: 2, demand: 15 });
-        assert_eq!(segs[1], MergeSeg { start: 2, len: 2, demand: 3 });
-        assert_eq!(segs[2], MergeSeg { start: 4, len: 4, demand: 13 });
+        assert_eq!(
+            segs[0],
+            MergeSeg {
+                start: 0,
+                len: 2,
+                demand: 15
+            }
+        );
+        assert_eq!(
+            segs[1],
+            MergeSeg {
+                start: 2,
+                len: 2,
+                demand: 3
+            }
+        );
+        assert_eq!(
+            segs[2],
+            MergeSeg {
+                start: 4,
+                len: 4,
+                demand: 13
+            }
+        );
     }
 
     #[test]
@@ -166,7 +187,14 @@ mod tests {
         let (segs, _) = block_merge(&[], 10, true);
         assert!(segs.is_empty());
         let (segs, _) = block_merge(&[5], 10, true);
-        assert_eq!(segs, vec![MergeSeg { start: 0, len: 1, demand: 5 }]);
+        assert_eq!(
+            segs,
+            vec![MergeSeg {
+                start: 0,
+                len: 1,
+                demand: 5
+            }]
+        );
     }
 
     #[test]

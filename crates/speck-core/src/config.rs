@@ -191,6 +191,9 @@ mod tests {
         assert!(!SpeckConfig::hash_only().enable_direct);
         let hd = SpeckConfig::hash_dense();
         assert!(hd.enable_dense && !hd.enable_direct);
-        assert_eq!(SpeckConfig::fixed_local_lb().local_lb, LocalLbMode::Fixed(32));
+        assert_eq!(
+            SpeckConfig::fixed_local_lb().local_lb,
+            LocalLbMode::Fixed(32)
+        );
     }
 }

@@ -21,6 +21,9 @@ pub struct DenseChunk<V> {
     mask: Vec<u64>,
     vals: Vec<V>,
     touched: usize,
+    /// True while mask/values may hold non-zero data; a clean chunk can be
+    /// re-armed by resizing instead of refilling.
+    dirty: bool,
     /// Bit-set/add operations performed (scratchpad atomics for the model).
     pub ops: u64,
 }
@@ -35,6 +38,7 @@ impl<V: Scalar> DenseChunk<V> {
             mask: vec![0u64; width.div_ceil(64)],
             vals: vec![V::zero(); width],
             touched: 0,
+            dirty: false,
             ops: 0,
         }
     }
@@ -49,6 +53,7 @@ impl<V: Scalar> DenseChunk<V> {
             mask: vec![0u64; width.div_ceil(64)],
             vals: Vec::new(),
             touched: 0,
+            dirty: false,
             ops: 0,
         }
     }
@@ -84,6 +89,7 @@ impl<V: Scalar> DenseChunk<V> {
         let (w, b) = (off / 64, off % 64);
         let was = self.mask[w] & (1u64 << b) != 0;
         self.mask[w] |= 1u64 << b;
+        self.dirty = true;
         if !was {
             self.touched += 1;
         }
@@ -108,26 +114,102 @@ impl<V: Scalar> DenseChunk<V> {
         new
     }
 
+    /// Bulk [`DenseChunk::mark`] of a sorted column slice that lies fully
+    /// inside the window — the hot symbolic merge loop, without the
+    /// per-element call and window checks.
+    pub fn mark_all(&mut self, cols: &[u32]) {
+        self.ops += cols.len() as u64;
+        for &c in cols {
+            debug_assert!(self.contains(c));
+            let off = (c - self.base) as usize;
+            let (w, b) = (off / 64, off % 64);
+            let m = 1u64 << b;
+            let word = self.mask[w];
+            self.touched += usize::from(word & m == 0);
+            self.mask[w] = word | m;
+        }
+        self.dirty |= !cols.is_empty();
+    }
+
+    /// Bulk [`DenseChunk::add`] of `scale * vals[i]` at `cols[i]` for a
+    /// column slice that lies fully inside the window — the hot numeric
+    /// merge loop.
+    pub fn add_scaled_row(&mut self, cols: &[u32], vals: &[V], scale: V) {
+        self.ops += cols.len() as u64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            debug_assert!(self.contains(c));
+            let off = (c - self.base) as usize;
+            let (w, b) = (off / 64, off % 64);
+            let m = 1u64 << b;
+            let word = self.mask[w];
+            self.touched += usize::from(word & m == 0);
+            self.mask[w] = word | m;
+            self.vals[off] += scale * v;
+        }
+        self.dirty |= !cols.is_empty();
+    }
+
     /// Extracts the occupied slots in column order (the compaction +
     /// store of Fig. 5). Symbolic chunks yield `V::zero()` values.
     pub fn extract_sorted(&self) -> Vec<(u32, V)> {
         let mut out = Vec::with_capacity(self.touched);
+        self.for_each_set(|col, v| out.push((col, v)));
+        out
+    }
+
+    /// Re-arms the chunk as a numeric window `[base, base + width)`,
+    /// reusing the mask/value allocations (equivalent to
+    /// [`DenseChunk::numeric`] without the heap traffic).
+    pub fn reuse_numeric(&mut self, base: u32, width: usize) {
+        assert!(width > 0);
+        self.base = base;
+        self.width = width;
+        if self.dirty {
+            self.mask.clear();
+            self.vals.clear();
+            self.dirty = false;
+        }
+        // A clean chunk holds only zeros: resizing keeps the prefix as-is.
+        self.mask.resize(width.div_ceil(64), 0);
+        self.vals.resize(width, V::zero());
+        self.touched = 0;
+        self.ops = 0;
+    }
+
+    /// Re-arms the chunk as a symbolic window `[base, base + width)`,
+    /// reusing the mask allocation (equivalent to
+    /// [`DenseChunk::symbolic`] without the heap traffic).
+    pub fn reuse_symbolic(&mut self, base: u32, width: usize) {
+        assert!(width > 0);
+        self.base = base;
+        self.width = width;
+        if self.dirty {
+            self.mask.clear();
+            self.dirty = false;
+        }
+        self.mask.resize(width.div_ceil(64), 0);
+        self.vals.clear();
+        self.touched = 0;
+        self.ops = 0;
+    }
+
+    /// Visits the occupied slots in column order without allocating
+    /// (the zero-copy variant of [`DenseChunk::extract_sorted`]).
+    pub fn for_each_set(&self, mut f: impl FnMut(u32, V)) {
         for (w, &word) in self.mask.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 let off = w * 64 + b;
-                let col = self.base + off as u32;
                 let v = if self.vals.is_empty() {
                     V::zero()
                 } else {
                     self.vals[off]
                 };
-                out.push((col, v));
+                f(self.base + off as u32, v);
                 bits &= bits - 1;
             }
         }
-        out
     }
 
     /// Resets the chunk for the next window starting at `base`.
@@ -138,6 +220,50 @@ impl<V: Scalar> DenseChunk<V> {
             self.vals.fill(V::zero());
         }
         self.touched = 0;
+        self.dirty = false;
+    }
+
+    /// [`DenseChunk::for_each_set`] fused with the clear: visits the
+    /// occupied slots in column order while zeroing them, leaving the chunk
+    /// clean at `O(touched)` cost instead of [`DenseChunk::reset`]'s
+    /// `O(width)` refill.
+    pub fn drain_set(&mut self, mut f: impl FnMut(u32, V)) {
+        let numeric = !self.vals.is_empty();
+        for (w, word) in self.mask.iter_mut().enumerate() {
+            let mut bits = *word;
+            if bits == 0 {
+                continue;
+            }
+            *word = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let off = w * 64 + b;
+                let v = if numeric {
+                    std::mem::replace(&mut self.vals[off], V::zero())
+                } else {
+                    V::zero()
+                };
+                f(self.base + off as u32, v);
+                bits &= bits - 1;
+            }
+        }
+        self.touched = 0;
+        self.dirty = false;
+    }
+
+    /// Slides a drained chunk to the window `[base, base + width)` without
+    /// touching its (all-zero) contents. `width` must not exceed the
+    /// current width; call [`DenseChunk::drain_set`] (or
+    /// [`DenseChunk::reset`]) first.
+    pub fn slide(&mut self, base: u32, width: usize) {
+        assert!(width > 0 && width <= self.width);
+        debug_assert!(!self.dirty, "slide requires a drained chunk");
+        self.base = base;
+        self.width = width;
+        self.mask.truncate(width.div_ceil(64));
+        if !self.vals.is_empty() {
+            self.vals.truncate(width);
+        }
     }
 }
 

@@ -122,27 +122,34 @@ fn decide_lb(
 fn charge_binning(
     dev: &DeviceConfig,
     cost: &CostModel,
-    name: &str,
+    name: &'static str,
     rows: usize,
     bins: usize,
 ) -> KernelReport {
     let threads = dev.max_threads_per_block;
     let grid = rows.div_ceil(threads).max(1);
-    launch(dev, cost, name, grid, KernelConfig::new(threads, 4096), |ctx| {
-        let start = ctx.block_id() * threads;
-        let n = threads.min(rows.saturating_sub(start));
-        // Read demands, compute bin, prefix-scan per potentially non-empty
-        // bin, append globally in one transaction per bin (paper §4.2).
-        ctx.charge_gmem_stream(threads, n, 4);
-        ctx.charge_smem((n * 2) as u64);
-        // One Hillis-Steele scan per potentially non-empty bin; each scan
-        // is ~log2(1024) warp-parallel steps over the block's warps, which
-        // amortises to about one block round per bin.
-        ctx.charge_rounds(bins as u64);
-        ctx.charge_gmem_atomic(bins as u64);
-        ctx.charge_gmem_stream(threads, n, 4); // write row ids to bins
-        ctx.charge_sync();
-    })
+    launch(
+        dev,
+        cost,
+        name,
+        grid,
+        KernelConfig::new(threads, 4096),
+        |ctx| {
+            let start = ctx.block_id() * threads;
+            let n = threads.min(rows.saturating_sub(start));
+            // Read demands, compute bin, prefix-scan per potentially non-empty
+            // bin, append globally in one transaction per bin (paper §4.2).
+            ctx.charge_gmem_stream(threads, n, 4);
+            ctx.charge_smem((n * 2) as u64);
+            // One Hillis-Steele scan per potentially non-empty bin; each scan
+            // is ~log2(1024) warp-parallel steps over the block's warps, which
+            // amortises to about one block round per bin.
+            ctx.charge_rounds(bins as u64);
+            ctx.charge_gmem_atomic(bins as u64);
+            ctx.charge_gmem_stream(threads, n, 4); // write row ids to bins
+            ctx.charge_sync();
+        },
+    )
 }
 
 /// Builds the per-row demand (in hash entries) of the symbolic pass: the
@@ -178,7 +185,7 @@ fn plan_pass(
     entry_bytes: usize,
     dense_rows: &[Option<usize>],
     direct_rows: &[bool],
-    pass_name: &str,
+    pass_name: &'static str,
     thr: (f64, usize, f64, usize),
     large_kernel_cut: usize,
     block_merge_enabled: bool,
@@ -431,9 +438,7 @@ pub fn plan_numeric(
                             row_nnz[r] as f64 / range as f64
                         };
                         let slots = cascade.dense_numeric_slots(idx, val_bytes);
-                        if density >= cfg.dense_min_density
-                            && dense_iterations(range, slots) <= 3
-                        {
+                        if density >= cfg.dense_min_density && dense_iterations(range, slots) <= 3 {
                             dense[r] = Some(idx);
                         }
                     }
@@ -491,7 +496,10 @@ mod tests {
         let (dev, cost, cascade, info) = setup(&a);
         let cfg = SpeckConfig::default();
         let plan = plan_symbolic(&dev, &cost, &cascade, &cfg, &info, a.cols());
-        assert_eq!(rows_covered(&plan), (0..a.rows() as u32).collect::<Vec<_>>());
+        assert_eq!(
+            rows_covered(&plan),
+            (0..a.rows() as u32).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -610,9 +618,11 @@ mod tests {
     fn no_lb_blocks_share_one_config_and_pack_rows() {
         let a = uniform_random(2000, 2000, 3, 5, 2);
         let (dev, cost, cascade, info) = setup(&a);
-        let mut cfg = SpeckConfig::default();
-        cfg.global_lb = GlobalLbMode::AlwaysOff;
-        cfg.enable_direct = false;
+        let cfg = SpeckConfig {
+            global_lb: GlobalLbMode::AlwaysOff,
+            enable_direct: false,
+            ..SpeckConfig::default()
+        };
         let plan = plan_symbolic(&dev, &cost, &cascade, &cfg, &info, a.cols());
         let cfgs: std::collections::BTreeSet<usize> =
             plan.blocks.iter().map(|b| b.cfg_idx).collect();
@@ -630,16 +640,21 @@ mod tests {
         let c = speck_sparse::reference::spgemm_seq(&a, &a);
         let row_nnz: Vec<u32> = (0..c.rows()).map(|i| c.row_nnz(i) as u32).collect();
         let plan = plan_numeric(&dev, &cost, &cascade, &cfg, &info, &row_nnz, a.cols(), 8);
-        assert_eq!(rows_covered(&plan), (0..a.rows() as u32).collect::<Vec<_>>());
+        assert_eq!(
+            rows_covered(&plan),
+            (0..a.rows() as u32).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn hash_blocks_never_exceed_32_rows() {
         let a = uniform_random(3000, 3000, 1, 2, 7);
         let (dev, cost, cascade, info) = setup(&a);
-        let mut cfg = SpeckConfig::default();
-        cfg.global_lb = GlobalLbMode::AlwaysOn;
-        cfg.enable_direct = false;
+        let cfg = SpeckConfig {
+            global_lb: GlobalLbMode::AlwaysOn,
+            enable_direct: false,
+            ..SpeckConfig::default()
+        };
         let plan = plan_symbolic(&dev, &cost, &cascade, &cfg, &info, a.cols());
         for b in &plan.blocks {
             if b.method == AccMethod::Hash {

@@ -73,10 +73,22 @@ pub struct Accumulator<V> {
     keys: Vec<u64>,
     vals: Vec<V>,
     capacity: usize,
+    /// `ceil(2^64 / capacity)` — lets [`Accumulator::slot_of`] reduce the
+    /// hash with two multiplies instead of a hardware divide (exact for
+    /// any 32-bit hash and capacity; Lemire's fastmod).
+    mod_magic: u64,
     local_len: usize,
     global: Option<GlobalMap<V>>,
     /// Event counters for the cost model.
     pub stats: AccStats,
+}
+
+/// `ceil(2^64 / cap)` for the multiply-based modulo in
+/// [`Accumulator::slot_of`].
+fn mod_magic(cap: usize) -> u64 {
+    assert!(cap > 0 && cap <= u32::MAX as usize);
+    // Wraps to 0 for cap == 1, where the product below is 0 == x % 1.
+    (u64::MAX / cap as u64).wrapping_add(1)
 }
 
 impl<V: Scalar> Accumulator<V> {
@@ -87,10 +99,40 @@ impl<V: Scalar> Accumulator<V> {
             keys: vec![EMPTY; capacity],
             vals: vec![V::zero(); capacity],
             capacity,
+            mod_magic: mod_magic(capacity),
             local_len: 0,
             global: None,
             stats: AccStats::default(),
         }
+    }
+
+    /// Re-arms the accumulator for a fresh block at `capacity` slots,
+    /// reusing the key/value allocations. Equivalent to
+    /// `*self = Accumulator::new(capacity)` but without the heap traffic:
+    /// stale values are never read (an insert writes the slot before any
+    /// read), so only the keys need clearing. The statistics reset too —
+    /// they feed the cost model, and a reused accumulator must charge
+    /// exactly what a fresh one would.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "Accumulator: capacity must be positive");
+        if capacity != self.capacity {
+            // A shrinking resize would keep a stale prefix: rebuild whole.
+            self.keys.clear();
+            self.keys.resize(capacity, EMPTY);
+            self.vals.clear();
+            self.vals.resize(capacity, V::zero());
+            self.capacity = capacity;
+            self.mod_magic = mod_magic(capacity);
+        } else if self.local_len != 0 {
+            // `local_len` counts the non-EMPTY keys exactly (each local
+            // insert of a new key increments it; drain and spill zero it
+            // after clearing), so a drained accumulator skips the O(n)
+            // sweep.
+            self.keys.fill(EMPTY);
+        }
+        self.local_len = 0;
+        self.global = None;
+        self.stats = AccStats::default();
     }
 
     /// Number of distinct keys stored (local + global).
@@ -127,7 +169,12 @@ impl<V: Scalar> Accumulator<V> {
         // a merged block would collide on the same probe clusters. Taking
         // the product's high half first mixes every key bit into the slot.
         let h = key.wrapping_mul(HASH_PRIME).rotate_right(32) ^ key;
-        (h.wrapping_mul(HASH_PRIME) >> 32) as usize % self.capacity
+        let x = h.wrapping_mul(HASH_PRIME) >> 32;
+        // `x % capacity` by Lemire's multiply-based reduction (exact for
+        // 32-bit `x`): the hardware divide would dominate the probe loop.
+        let m = ((self.mod_magic.wrapping_mul(x) as u128 * self.capacity as u128) >> 64) as usize;
+        debug_assert_eq!(m, x as usize % self.capacity);
+        m
     }
 
     /// Ensures `headroom` more inserts can all land locally; if not,
@@ -143,10 +190,8 @@ impl<V: Scalar> Accumulator<V> {
     }
 
     fn spill(&mut self) {
-        let mut g: GlobalMap<V> = HashMap::with_capacity_and_hasher(
-            self.capacity * 2,
-            BuildHasherDefault::default(),
-        );
+        let mut g: GlobalMap<V> =
+            HashMap::with_capacity_and_hasher(self.capacity * 2, BuildHasherDefault::default());
         for (i, &k) in self.keys.iter().enumerate() {
             if k != EMPTY {
                 g.insert(k, self.vals[i]);
@@ -209,15 +254,57 @@ impl<V: Scalar> Accumulator<V> {
     }
 
     /// Symbolic insert: records the key only; returns `true` when new.
+    ///
+    /// Skips the value array entirely — the slot's stale value is fine
+    /// because a later *numeric* insert always writes a new slot before
+    /// reading it, and the symbolic pass never reads values at all.
     pub fn insert_key(&mut self, key: u64) -> bool {
-        self.insert(key, V::zero())
+        if self.global.is_some() {
+            return self.insert(key, V::zero());
+        }
+        self.stats.smem_inserts += 1;
+        let mut slot = self.slot_of(key);
+        let mut probes = 0u64;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                self.stats.probes += probes;
+                return false;
+            }
+            if k == EMPTY {
+                self.stats.probes += probes;
+                self.keys[slot] = key;
+                self.local_len += 1;
+                return true;
+            }
+            probes += 1;
+            slot += 1;
+            if slot == self.capacity {
+                slot = 0;
+            }
+            if probes as usize > self.capacity {
+                // Local map completely full: spill and retry globally.
+                self.stats.probes += probes;
+                self.spill();
+                return self.insert(key, V::zero());
+            }
+        }
     }
 
     /// Extracts all `(key, value)` pairs, sorted by key. (Compound keys
     /// sort by local row then column, exactly the output order the
     /// numeric kernel needs.)
     pub fn drain_sorted(&mut self) -> Vec<(u64, V)> {
-        let mut out: Vec<(u64, V)> = Vec::with_capacity(self.len());
+        let mut out = Vec::new();
+        self.drain_sorted_into(&mut out);
+        out
+    }
+
+    /// [`Accumulator::drain_sorted`] into a caller-provided buffer
+    /// (cleared first), so a reused workspace pays no allocation.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u64, V)>) {
+        out.clear();
+        out.reserve(self.len());
         for (i, &k) in self.keys.iter().enumerate() {
             if k != EMPTY {
                 out.push((k, self.vals[i]));
@@ -229,7 +316,6 @@ impl<V: Scalar> Accumulator<V> {
         out.sort_unstable_by_key(|&(k, _)| k);
         self.keys.fill(EMPTY);
         self.local_len = 0;
-        out
     }
 
     /// Counts stored keys per local row (symbolic extraction for blocks of

@@ -48,9 +48,11 @@ pub mod pipeline;
 pub mod sort;
 pub mod symbolic;
 pub mod tuning;
+pub mod workspace;
 
 pub use analysis::{analyze, AnalysisInfo, RowInfo};
 pub use cascade::KernelCascade;
 pub use config::{GlobalLbMode, GlobalLbThresholds, LocalLbMode, SpeckConfig};
 pub use partial::{multiply_multi_gpu, multiply_partitioned};
-pub use pipeline::{multiply, MultiplyReport, SpeckSpgemm};
+pub use pipeline::{multiply, multiply_with_pool, MultiplyReport, SpeckSpgemm};
+pub use workspace::{SharedWorkspaces, Workspace, WorkspacePool};

@@ -81,7 +81,10 @@ mod tests {
             select_group_size(LocalLbMode::Fixed(32), 1024, 10, 100, 10),
             32
         );
-        assert_eq!(select_group_size(LocalLbMode::Fixed(64), 32, 10, 100, 10), 32);
+        assert_eq!(
+            select_group_size(LocalLbMode::Fixed(64), 32, 10, 100, 10),
+            32
+        );
         assert_eq!(select_group_size(LocalLbMode::Fixed(0), 32, 10, 100, 10), 1);
     }
 

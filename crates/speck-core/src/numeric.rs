@@ -4,24 +4,33 @@
 //! smallest configurations sort in scratchpad, larger ones defer to a
 //! device-wide radix pass. Dense blocks sweep the column range in chunks
 //! (already sorted). Direct blocks scale one row of B.
+//!
+//! Kernels borrow their accumulators from a [`WorkspacePool`] instead of
+//! allocating per block, and blocks stage output as flat
+//! (columns, values, per-row counts) triples that are copied straight into
+//! the final CSR arrays (the symbolic pass's exact counts give every row's
+//! offset up front).
 
 use crate::analysis::AnalysisInfo;
 use crate::cascade::{numeric_entry_bytes, KernelCascade};
 use crate::config::SpeckConfig;
-use crate::denseacc::DenseChunk;
 use crate::global_lb::PassPlan;
-use crate::hashacc::{compound_key, split_key, Accumulator};
+use crate::hashacc::{compound_key, split_key};
 use crate::local_lb::select_group_size;
-use crate::sort::{radix_sort_pass, scratch_sort_steps, MAX_SCRATCH_SORT_CFG, MAX_SCRATCH_SORT_ENTRIES};
+use crate::sort::{
+    radix_sort_pass, scratch_sort_steps, MAX_SCRATCH_SORT_CFG, MAX_SCRATCH_SORT_ENTRIES,
+};
 use crate::symbolic::group_blocks;
+use crate::workspace::{Workspace, WorkspacePool};
 use speck_simt::{
     launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
     KernelReport,
 };
 use speck_sparse::{Csr, Scalar};
 
-/// One computed output row.
-type RowOut<V> = (Vec<u32>, Vec<V>);
+/// Flat output of one block: concatenated column indices and values of all
+/// its rows (row-major), plus the per-row entry counts.
+type BlockOut<V> = (Vec<u32>, Vec<V>, Vec<u32>);
 
 /// Result of the numeric pass.
 pub struct NumericOutput<V> {
@@ -41,6 +50,7 @@ pub struct NumericOutput<V> {
 #[allow(clippy::too_many_arguments)]
 fn hash_block<V: Scalar>(
     ctx: &mut BlockCtx,
+    ws: &mut Workspace<V>,
     a: &Csr<V>,
     b: &Csr<V>,
     info: &AnalysisInfo,
@@ -49,11 +59,14 @@ fn hash_block<V: Scalar>(
     entry_bytes: usize,
     cfg: &SpeckConfig,
     scratch_sorted: bool,
-) -> (Vec<RowOut<V>>, bool, bool) {
+) -> (BlockOut<V>, bool, bool) {
     // Returns the computed rows, whether the block spilled to a global
     // hash map, and whether its rows still need the global radix pass.
     let threads = ctx.threads();
-    let nnz_a: u64 = rows.iter().map(|&r| info.rows[r as usize].nnz_a as u64).sum();
+    let nnz_a: u64 = rows
+        .iter()
+        .map(|&r| info.rows[r as usize].nnz_a as u64)
+        .sum();
     let products: u64 = rows.iter().map(|&r| info.rows[r as usize].products).sum();
     let max_b: u64 = rows
         .iter()
@@ -63,9 +76,16 @@ fn hash_block<V: Scalar>(
     let g = select_group_size(cfg.local_lb, threads, nnz_a, products, max_b);
     let k = (threads / g).max(1);
 
-    ctx.scratch.reserve(capacity * entry_bytes, "numeric hash map");
-    let mut acc: Accumulator<V> = Accumulator::new(capacity);
-    let mut iters: Vec<u64> = Vec::with_capacity(nnz_a as usize);
+    ctx.scratch
+        .reserve(capacity * entry_bytes, "numeric hash map");
+    let Workspace {
+        acc,
+        iters,
+        entries,
+        ..
+    } = ws;
+    acc.reset(capacity);
+    iters.clear();
     let mut tx = 0u64;
 
     for (li, &r) in rows.iter().enumerate() {
@@ -90,15 +110,15 @@ fn hash_block<V: Scalar>(
     ctx.charge_rounds(simulate_group_rounds(k, iters.iter().copied()));
     ctx.charge_gmem_tx(tx);
     ctx.charge_gmem_scatter(nnz_a); // B row-offset pair per NZ of A (one sector)
-    // Insert issue cost is part of the loop rounds; only contention
-    // beyond the first probe is charged separately.
+                                    // Insert issue cost is part of the loop rounds; only contention
+                                    // beyond the first probe is charged separately.
     ctx.charge_probes(acc.stats.probes);
     ctx.charge_spill(acc.stats.spilled);
     ctx.charge_gmem_atomic(acc.stats.gmem_inserts);
     ctx.charge_sync();
 
     let spilled = acc.spilled_to_global();
-    let entries = acc.drain_sorted();
+    acc.drain_sorted_into(entries);
     let n = entries.len();
     // Rank-sort in scratchpad only while the O(n^2) stays cheaper than a
     // radix pass over the rows; spilled or oversized maps defer to radix.
@@ -110,25 +130,30 @@ fn hash_block<V: Scalar>(
     ctx.charge_gmem_store(n, entry_bytes);
     ctx.charge_rounds((capacity as u64).div_ceil(threads as u64));
 
-    // Split per local row (keys sort row-major, so a linear sweep works).
-    let mut out: Vec<RowOut<V>> = vec![(Vec::new(), Vec::new()); rows.len()];
-    for (key, val) in entries {
+    // Split per local row (keys sort row-major, so the flat buffer is
+    // already row-major).
+    let mut cols = Vec::with_capacity(n);
+    let mut vals = Vec::with_capacity(n);
+    let mut counts = vec![0u32; rows.len()];
+    for &(key, val) in entries.iter() {
         let (lr, col) = split_key(key);
-        out[lr as usize].0.push(col);
-        out[lr as usize].1.push(val);
+        counts[lr as usize] += 1;
+        cols.push(col);
+        vals.push(val);
     }
-    (out, spilled, !scratch_sorted)
+    ((cols, vals, counts), spilled, !scratch_sorted)
 }
 
 /// Numeric dense kernel for one row (paper Fig. 5).
 fn dense_block<V: Scalar>(
     ctx: &mut BlockCtx,
+    ws: &mut Workspace<V>,
     a: &Csr<V>,
     b: &Csr<V>,
     info: &AnalysisInfo,
     row: u32,
     slots: usize,
-) -> RowOut<V> {
+) -> (Vec<u32>, Vec<V>) {
     let threads = ctx.threads();
     let ri = &info.rows[row as usize];
     let range = ri.col_range();
@@ -139,14 +164,13 @@ fn dense_block<V: Scalar>(
         slots * crate::cascade::dense_numeric_slot_bytes(std::mem::size_of::<V>()),
         "dense row",
     );
+    let Workspace { dense, cursors, .. } = ws;
     let (a_cols, a_vals) = a.row(row as usize);
-    let mut cursors: Vec<usize> = a_cols
-        .iter()
-        .map(|&k| b.row_range(k as usize).start)
-        .collect();
+    cursors.clear();
+    cursors.extend(a_cols.iter().map(|&k| b.row_range(k as usize).start));
     let iterations = range.div_ceil(slots as u64);
     let width = (slots as u64).min(range) as usize;
-    let mut chunk: DenseChunk<V> = DenseChunk::numeric(ri.col_min, width);
+    dense.reuse_numeric(ri.col_min, width);
     let mut cols_out = Vec::new();
     let mut vals_out = Vec::new();
     let cols_b = b.col_idx();
@@ -155,31 +179,34 @@ fn dense_block<V: Scalar>(
         let base = ri.col_min as u64 + it * slots as u64;
         if it > 0 {
             let w = (range - it * slots as u64).min(slots as u64) as usize;
-            if w != chunk.width() {
-                chunk = DenseChunk::numeric(base as u32, w);
-            } else {
-                chunk.reset(base as u32);
-            }
+            dense.slide(base as u32, w);
         }
         let end = base + slots as u64;
-        for (i, (&k, &av)) in a_cols.iter().zip(a_vals).enumerate() {
+        for (cur, (&k, &av)) in cursors.iter_mut().zip(a_cols.iter().zip(a_vals)) {
             let row_end = b.row_range(k as usize).end;
-            while cursors[i] < row_end && (cols_b[cursors[i]] as u64) < end {
-                chunk.add(cols_b[cursors[i]], av * vals_b[cursors[i]]);
-                cursors[i] += 1;
-            }
+            // The one-iteration common case consumes whole rows; otherwise
+            // split the sorted row at the window end.
+            let stop = if iterations == 1 {
+                row_end
+            } else {
+                *cur + cols_b[*cur..row_end].partition_point(|&c| (c as u64) < end)
+            };
+            dense.add_scaled_row(&cols_b[*cur..stop], &vals_b[*cur..stop], av);
+            *cur = stop;
         }
-        // Prefix-sum compaction + partial store after every iteration.
-        let extracted = chunk.extract_sorted();
-        ctx.charge_smem((chunk.width() as u64) / 8);
-        ctx.charge_rounds((chunk.width() as u64).div_ceil(threads as u64));
-        ctx.charge_gmem_store(extracted.len(), 12);
-        ctx.charge_smem(a_cols.len() as u64);
-        ctx.charge_sync();
-        for (c, v) in extracted {
+        // Prefix-sum compaction + partial store after every iteration
+        // (draining leaves the chunk clean for the next window).
+        let start = cols_out.len();
+        dense.drain_set(|c, v| {
             cols_out.push(c);
             vals_out.push(v);
-        }
+        });
+        let stored = cols_out.len() - start;
+        ctx.charge_smem((dense.width() as u64) / 8);
+        ctx.charge_rounds((dense.width() as u64).div_ceil(threads as u64));
+        ctx.charge_gmem_store(stored, 12);
+        ctx.charge_smem(a_cols.len() as u64);
+        ctx.charge_sync();
     }
     let mut tx = 0u64;
     for &k in a_cols {
@@ -198,21 +225,22 @@ fn direct_block<V: Scalar>(
     a: &Csr<V>,
     b: &Csr<V>,
     rows: &[u32],
-) -> Vec<RowOut<V>> {
+) -> BlockOut<V> {
     let threads = ctx.threads();
-    let mut out = Vec::with_capacity(rows.len());
+    let mut cols_out = Vec::new();
+    let mut vals_out = Vec::new();
+    let mut counts = Vec::with_capacity(rows.len());
     let mut elems = 0usize;
     for &r in rows {
         let (a_cols, a_vals) = a.row(r as usize);
         if let (Some(&k), Some(&av)) = (a_cols.first(), a_vals.first()) {
             let (b_cols, b_vals) = b.row(k as usize);
             elems += b_cols.len();
-            out.push((
-                b_cols.to_vec(),
-                b_vals.iter().map(|&bv| av * bv).collect(),
-            ));
+            cols_out.extend_from_slice(b_cols);
+            vals_out.extend(b_vals.iter().map(|&bv| av * bv));
+            counts.push(b_cols.len() as u32);
         } else {
-            out.push((Vec::new(), Vec::new()));
+            counts.push(0);
         }
     }
     // Stream every referenced row in and out once, no accumulation.
@@ -220,7 +248,7 @@ fn direct_block<V: Scalar>(
     let rounds_in = ctx.charge_gmem_stream(threads, elems, 12);
     ctx.charge_gmem_store(elems, 12);
     ctx.charge_rounds(rounds_in / 2);
-    out
+    (cols_out, vals_out, counts)
 }
 
 /// Runs the numeric pass and assembles C.
@@ -235,115 +263,128 @@ pub fn run_numeric<V: Scalar>(
     info: &AnalysisInfo,
     plan: &PassPlan,
     row_nnz: &[u32],
+    pool: &WorkspacePool<V>,
 ) -> NumericOutput<V> {
     let entry_bytes = numeric_entry_bytes(b.cols(), std::mem::size_of::<V>());
-    let mut rows_out: Vec<Option<RowOut<V>>> = (0..a.rows()).map(|_| None).collect();
     let mut reports = Vec::new();
     let mut spilled_blocks = 0usize;
     let mut radix_elems = 0usize;
 
-    for ((method, cfg_idx), blocks) in group_blocks(plan) {
-        let kc = cascade.config(cfg_idx);
-        match method {
-            0 => {
-                let capacity = cascade.hash_capacity(cfg_idx, entry_bytes);
-                let scratch_sorted = cfg_idx <= MAX_SCRATCH_SORT_CFG;
-                let (report, outs) = launch_map(
-                    dev,
-                    cost,
-                    &format!("numeric_hash_c{cfg_idx}"),
-                    blocks.len(),
-                    kc,
-                    |ctx| {
-                        let bp = &blocks[ctx.block_id()];
-                        hash_block(
-                            ctx,
-                            a,
-                            b,
-                            info,
-                            &bp.rows,
-                            capacity,
-                            entry_bytes,
-                            cfg,
-                            scratch_sorted,
-                        )
-                    },
+    // The symbolic counts are exact, so C's layout is known before the
+    // numeric kernels run: prefix-sum the row offsets and copy each block's
+    // flat output directly into place.
+    let n = a.rows();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for &c in row_nnz {
+        total += c as usize;
+        row_ptr.push(total);
+    }
+    let mut col_idx = vec![0u32; total];
+    let mut vals = vec![V::zero(); total];
+    let mut rows_filled = 0usize;
+
+    {
+        let mut place = |rows: &[u32], bcols: &[u32], bvals: &[V], counts: &[u32]| {
+            let mut off = 0usize;
+            for (&r, &cnt) in rows.iter().zip(counts) {
+                let cnt = cnt as usize;
+                assert_eq!(
+                    cnt, row_nnz[r as usize] as usize,
+                    "numeric row {r} disagrees with the symbolic count"
                 );
-                for (bp, (rows, spilled, needs_radix)) in blocks.iter().zip(outs) {
-                    spilled_blocks += usize::from(spilled);
-                    for (&r, row) in bp.rows.iter().zip(rows) {
+                let dst = row_ptr[r as usize];
+                col_idx[dst..dst + cnt].copy_from_slice(&bcols[off..off + cnt]);
+                vals[dst..dst + cnt].copy_from_slice(&bvals[off..off + cnt]);
+                off += cnt;
+                rows_filled += 1;
+            }
+        };
+
+        for ((method, cfg_idx), group) in group_blocks(plan) {
+            let kc = cascade.config(cfg_idx);
+            let block = |i: usize| &plan.blocks[group[i]];
+            match method {
+                0 => {
+                    let capacity = cascade.hash_capacity(cfg_idx, entry_bytes);
+                    let scratch_sorted = cfg_idx <= MAX_SCRATCH_SORT_CFG;
+                    let (report, outs) = launch_map(
+                        dev,
+                        cost,
+                        format!("numeric_hash_c{cfg_idx}"),
+                        group.len(),
+                        kc,
+                        |ctx| {
+                            let bp = block(ctx.block_id());
+                            let mut ws = pool.acquire();
+                            hash_block(
+                                ctx,
+                                &mut ws,
+                                a,
+                                b,
+                                info,
+                                &bp.rows,
+                                capacity,
+                                entry_bytes,
+                                cfg,
+                                scratch_sorted,
+                            )
+                        },
+                    );
+                    for (&bi, ((bcols, bvals, counts), spilled, needs_radix)) in
+                        group.iter().zip(outs)
+                    {
+                        spilled_blocks += usize::from(spilled);
                         if needs_radix {
-                            radix_elems += row.0.len();
+                            radix_elems += bcols.len();
                         }
-                        rows_out[r as usize] = Some(row);
+                        place(&plan.blocks[bi].rows, &bcols, &bvals, &counts);
                     }
+                    reports.push(report);
                 }
-                reports.push(report);
-            }
-            1 => {
-                let slots = cascade.dense_numeric_slots(cfg_idx, std::mem::size_of::<V>());
-                let (report, outs) = launch_map(
-                    dev,
-                    cost,
-                    &format!("numeric_dense_c{cfg_idx}"),
-                    blocks.len(),
-                    kc,
-                    |ctx| {
-                        let bp = &blocks[ctx.block_id()];
-                        dense_block(ctx, a, b, info, bp.rows[0], slots)
-                    },
-                );
-                for (bp, row) in blocks.iter().zip(outs) {
-                    rows_out[bp.rows[0] as usize] = Some(row);
-                }
-                reports.push(report);
-            }
-            _ => {
-                let dk = KernelConfig::new(256.min(dev.max_threads_per_block), 0);
-                let (report, outs) = launch_map(
-                    dev,
-                    cost,
-                    "numeric_direct",
-                    blocks.len(),
-                    dk,
-                    |ctx| {
-                        let bp = &blocks[ctx.block_id()];
-                        direct_block(ctx, a, b, &bp.rows)
-                    },
-                );
-                for (bp, rows) in blocks.iter().zip(outs) {
-                    for (&r, row) in bp.rows.iter().zip(rows) {
-                        rows_out[r as usize] = Some(row);
+                1 => {
+                    let slots = cascade.dense_numeric_slots(cfg_idx, std::mem::size_of::<V>());
+                    let (report, outs) = launch_map(
+                        dev,
+                        cost,
+                        format!("numeric_dense_c{cfg_idx}"),
+                        group.len(),
+                        kc,
+                        |ctx| {
+                            let bp = block(ctx.block_id());
+                            let mut ws = pool.acquire();
+                            dense_block(ctx, &mut ws, a, b, info, bp.rows[0], slots)
+                        },
+                    );
+                    for (&bi, (bcols, bvals)) in group.iter().zip(outs) {
+                        let count = bcols.len() as u32;
+                        place(&plan.blocks[bi].rows[..1], &bcols, &bvals, &[count]);
                     }
+                    reports.push(report);
                 }
-                reports.push(report);
+                _ => {
+                    let dk = KernelConfig::new(256.min(dev.max_threads_per_block), 0);
+                    let (report, outs) =
+                        launch_map(dev, cost, "numeric_direct", group.len(), dk, |ctx| {
+                            let bp = block(ctx.block_id());
+                            direct_block(ctx, a, b, &bp.rows)
+                        });
+                    for (&bi, (bcols, bvals, counts)) in group.iter().zip(outs) {
+                        place(&plan.blocks[bi].rows, &bcols, &bvals, &counts);
+                    }
+                    reports.push(report);
+                }
             }
         }
     }
+    assert_eq!(rows_filled, n, "some rows were never computed");
 
     // Trailing radix sort pass for rows the hash kernels left unsorted.
     // (Functionally our accumulator already emits sorted entries; the pass
     // exists to charge its cost, like the real implementation's CUB pass.)
     let sort_report = radix_sort_pass(dev, cost, radix_elems, entry_bytes);
 
-    // Assemble C; the symbolic counts must match exactly.
-    let n = a.rows();
-    let mut row_ptr = Vec::with_capacity(n + 1);
-    row_ptr.push(0usize);
-    let total: usize = row_nnz.iter().map(|&x| x as usize).sum();
-    let mut col_idx = Vec::with_capacity(total);
-    let mut vals = Vec::with_capacity(total);
-    for (i, slot) in rows_out.into_iter().enumerate() {
-        let (cols, v) = slot.unwrap_or_else(|| panic!("row {i} was never computed"));
-        assert_eq!(
-            cols.len(),
-            row_nnz[i] as usize,
-            "numeric row {i} disagrees with the symbolic count"
-        );
-        col_idx.extend_from_slice(&cols);
-        vals.extend_from_slice(&v);
-        row_ptr.push(col_idx.len());
-    }
     let c = Csr::from_parts_unchecked(n, b.cols(), row_ptr, col_idx, vals);
 
     NumericOutput {
@@ -368,11 +409,23 @@ mod tests {
         let dev = DeviceConfig::titan_v();
         let cost = CostModel::default();
         let cascade = KernelCascade::for_device(&dev);
+        let pool = WorkspacePool::new();
         let (info, _) = analyze(&dev, &cost, a, a);
         let splan = plan_symbolic(&dev, &cost, &cascade, cfg, &info, a.cols());
-        let sym = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &splan);
+        let sym = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &splan, &pool);
         let nplan = plan_numeric(&dev, &cost, &cascade, cfg, &info, &sym.row_nnz, a.cols(), 8);
-        run_numeric(&dev, &cost, &cascade, cfg, a, a, &info, &nplan, &sym.row_nnz)
+        run_numeric(
+            &dev,
+            &cost,
+            &cascade,
+            cfg,
+            a,
+            a,
+            &info,
+            &nplan,
+            &sym.row_nnz,
+            &pool,
+        )
     }
 
     fn check(a: &Csr<f64>, cfg: &SpeckConfig) -> NumericOutput<f64> {
@@ -442,9 +495,14 @@ mod tests {
     #[test]
     fn values_match_lb_always_on_and_off() {
         let a = rmat(8, 8, 0.57, 0.19, 0.19, 14);
-        for mode in [crate::GlobalLbMode::AlwaysOn, crate::GlobalLbMode::AlwaysOff] {
-            let mut cfg = SpeckConfig::default();
-            cfg.global_lb = mode;
+        for mode in [
+            crate::GlobalLbMode::AlwaysOn,
+            crate::GlobalLbMode::AlwaysOff,
+        ] {
+            let cfg = SpeckConfig {
+                global_lb: mode,
+                ..SpeckConfig::default()
+            };
             check(&a, &cfg);
         }
     }
@@ -462,6 +520,7 @@ mod tests {
         let cost = CostModel::default();
         let cascade = KernelCascade::for_device(&dev);
         let cfg = SpeckConfig::default();
+        let pool = WorkspacePool::new();
         let a64 = uniform_random(128, 128, 1, 6, 8);
         // Rebuild as f32.
         let a: Csr<f32> = Csr::from_parts_unchecked(
@@ -473,9 +532,29 @@ mod tests {
         );
         let (info, _) = analyze(&dev, &cost, &a, &a);
         let splan = plan_symbolic(&dev, &cost, &cascade, &cfg, &info, a.cols());
-        let sym = run_symbolic(&dev, &cost, &cascade, &cfg, &a, &a, &info, &splan);
-        let nplan = plan_numeric(&dev, &cost, &cascade, &cfg, &info, &sym.row_nnz, a.cols(), 4);
-        let out = run_numeric(&dev, &cost, &cascade, &cfg, &a, &a, &info, &nplan, &sym.row_nnz);
+        let sym = run_symbolic(&dev, &cost, &cascade, &cfg, &a, &a, &info, &splan, &pool);
+        let nplan = plan_numeric(
+            &dev,
+            &cost,
+            &cascade,
+            &cfg,
+            &info,
+            &sym.row_nnz,
+            a.cols(),
+            4,
+        );
+        let out = run_numeric(
+            &dev,
+            &cost,
+            &cascade,
+            &cfg,
+            &a,
+            &a,
+            &info,
+            &nplan,
+            &sym.row_nnz,
+            &pool,
+        );
         let expect64 = spgemm_seq(&a64, &a64);
         assert_eq!(out.c.nnz(), expect64.nnz());
     }

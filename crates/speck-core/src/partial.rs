@@ -97,7 +97,11 @@ pub fn multiply_partitioned<V: Scalar>(
     b: &Csr<V>,
     mem_budget_bytes: usize,
 ) -> (Csr<V>, PartialReport) {
-    assert_eq!(a.cols(), b.rows(), "multiply_partitioned: dimension mismatch");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "multiply_partitioned: dimension mismatch"
+    );
     let n = a.rows();
     let mut bands: Vec<(usize, usize)> = Vec::new();
     let mut start = 0usize;
@@ -163,7 +167,10 @@ pub fn multiply_multi_gpu<V: Scalar>(
     a: &Csr<V>,
     b: &Csr<V>,
 ) -> (Csr<V>, MultiGpuReport) {
-    assert!(n_devices >= 1, "multiply_multi_gpu: need at least one device");
+    assert!(
+        n_devices >= 1,
+        "multiply_multi_gpu: need at least one device"
+    );
     assert_eq!(a.cols(), b.rows(), "multiply_multi_gpu: dimension mismatch");
     let n = a.rows();
 
@@ -209,7 +216,11 @@ pub fn multiply_multi_gpu<V: Scalar>(
         c,
         MultiGpuReport {
             sim_time_s: makespan,
-            speedup: if makespan > 0.0 { single / makespan } else { 1.0 },
+            speedup: if makespan > 0.0 {
+                single / makespan
+            } else {
+                1.0
+            },
             device_times_s,
             peak_mem_bytes: peak,
         },
@@ -299,7 +310,11 @@ mod tests {
         let a = uniform_random(6_000, 6_000, 4, 8, 66);
         let (_, r) = multiply_multi_gpu(&dev, &cost, &cfg, 3, &a, &a);
         let max = r.device_times_s.iter().cloned().fold(0.0f64, f64::max);
-        let min = r.device_times_s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = r
+            .device_times_s
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min < 2.0, "device imbalance {max}/{min}");
     }
 

@@ -6,8 +6,10 @@ use crate::config::SpeckConfig;
 use crate::global_lb::{plan_numeric, plan_symbolic, ThresholdSet};
 use crate::numeric::run_numeric;
 use crate::symbolic::run_symbolic;
+use crate::workspace::{SharedWorkspaces, WorkspacePool};
 use speck_simt::{CostModel, DeviceConfig, MemTracker, Timeline};
 use speck_sparse::{Csr, Scalar};
+use std::sync::Arc;
 
 /// Stage names used in the timeline, matching paper Fig. 11.
 pub mod stage {
@@ -69,6 +71,12 @@ impl MultiplyReport {
 }
 
 /// Reusable engine: device + cost model + configuration.
+///
+/// The engine also owns a [`SharedWorkspaces`] registry, so repeated
+/// `multiply` calls reuse the same host-side accumulator buffers instead of
+/// reallocating them. Reuse is a host optimisation only: the simulated cost
+/// of every call is identical to a fresh engine's (see
+/// [`crate::workspace`]). Clones share the registry.
 #[derive(Clone, Debug)]
 pub struct SpeckSpgemm {
     /// Simulated device.
@@ -77,6 +85,7 @@ pub struct SpeckSpgemm {
     pub cost: CostModel,
     /// Algorithm configuration.
     pub config: SpeckConfig,
+    workspaces: Arc<SharedWorkspaces>,
 }
 
 impl Default for SpeckSpgemm {
@@ -85,6 +94,7 @@ impl Default for SpeckSpgemm {
             device: DeviceConfig::titan_v(),
             cost: CostModel::default(),
             config: SpeckConfig::default(),
+            workspaces: Arc::new(SharedWorkspaces::new()),
         }
     }
 }
@@ -98,9 +108,15 @@ impl SpeckSpgemm {
         }
     }
 
+    /// The engine's workspace registry (one buffer pool per scalar type).
+    pub fn workspaces(&self) -> &Arc<SharedWorkspaces> {
+        &self.workspaces
+    }
+
     /// Computes `C = A · B`; returns the result and the full report.
     pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
-        multiply(&self.device, &self.cost, &self.config, a, b)
+        let pool = self.workspaces.pool::<V>();
+        multiply_with_pool(&self.device, &self.cost, &self.config, a, b, &pool)
     }
 }
 
@@ -114,6 +130,20 @@ pub fn multiply<V: Scalar>(
     cfg: &SpeckConfig,
     a: &Csr<V>,
     b: &Csr<V>,
+) -> (Csr<V>, MultiplyReport) {
+    multiply_with_pool(dev, cost, cfg, a, b, &WorkspacePool::new())
+}
+
+/// Like [`multiply`], but borrowing kernel workspaces from `pool` (and
+/// leaving them there for later calls). The pool never affects the report —
+/// only host-side allocation traffic.
+pub fn multiply_with_pool<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pool: &WorkspacePool<V>,
 ) -> (Csr<V>, MultiplyReport) {
     assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
     let cascade = KernelCascade::for_device(dev);
@@ -138,7 +168,7 @@ pub fn multiply<V: Scalar>(
     }
 
     // Stage 3: symbolic SpGEMM.
-    let sym = run_symbolic(dev, cost, &cascade, cfg, a, b, &info, &splan);
+    let sym = run_symbolic(dev, cost, &cascade, cfg, a, b, &info, &splan, pool);
     for r in &sym.reports {
         timeline.add_kernel(stage::SYMBOLIC, r);
     }
@@ -193,7 +223,18 @@ pub fn multiply<V: Scalar>(
     }
 
     // Stage 5: numeric SpGEMM.
-    let num = run_numeric(dev, cost, &cascade, cfg, a, b, &info, &nplan, &sym.row_nnz);
+    let num = run_numeric(
+        dev,
+        cost,
+        &cascade,
+        cfg,
+        a,
+        b,
+        &info,
+        &nplan,
+        &sym.row_nnz,
+        pool,
+    );
     for r in &num.reports {
         timeline.add_kernel(stage::NUMERIC, r);
     }

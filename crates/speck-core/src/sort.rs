@@ -77,7 +77,10 @@ mod tests {
         assert_eq!(scratch_sort_steps(64, 64), 128); // 64 steps x 2 warps
         assert_eq!(scratch_sort_steps(128, 64), 512);
         // Formula is ceil(n^2/T) * warps.
-        assert_eq!(scratch_sort_steps(144, 128), (144u64 * 144).div_ceil(128) * 4);
+        assert_eq!(
+            scratch_sort_steps(144, 128),
+            (144u64 * 144).div_ceil(128) * 4
+        );
         // Growing n 2x grows work 4x once past the thread count.
         let a = scratch_sort_steps(1000, 64);
         let b = scratch_sort_steps(2000, 64);

@@ -8,10 +8,10 @@
 use crate::analysis::AnalysisInfo;
 use crate::cascade::{symbolic_entry_bytes, KernelCascade};
 use crate::config::SpeckConfig;
-use crate::denseacc::DenseChunk;
-use crate::global_lb::{AccMethod, BlockPlan, PassPlan};
-use crate::hashacc::{compound_key, Accumulator};
+use crate::global_lb::{AccMethod, PassPlan};
+use crate::hashacc::compound_key;
 use crate::local_lb::select_group_size;
+use crate::workspace::{Workspace, WorkspacePool};
 use speck_simt::{
     launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
     KernelReport,
@@ -30,16 +30,18 @@ pub struct SymbolicOutput {
     pub spilled_blocks: usize,
 }
 
-/// Groups plan blocks into launches of identical (method, config).
-pub(crate) fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<BlockPlan>> {
-    let mut groups: BTreeMap<(u8, usize), Vec<BlockPlan>> = BTreeMap::new();
-    for b in &plan.blocks {
+/// Groups plan blocks into launches of identical (method, config). The
+/// groups hold indices into `plan.blocks` — the plans (with their row
+/// lists) stay where they are instead of being cloned per launch.
+pub(crate) fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<usize>> {
+    let mut groups: BTreeMap<(u8, usize), Vec<usize>> = BTreeMap::new();
+    for (i, b) in plan.blocks.iter().enumerate() {
         let m = match b.method {
             AccMethod::Hash => 0u8,
             AccMethod::Dense => 1,
             AccMethod::Direct => 2,
         };
-        groups.entry((m, b.cfg_idx)).or_default().push(b.clone());
+        groups.entry((m, b.cfg_idx)).or_default().push(i);
     }
     groups
 }
@@ -49,6 +51,7 @@ pub(crate) fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<BlockPl
 #[allow(clippy::too_many_arguments)]
 fn hash_block<V: Scalar>(
     ctx: &mut BlockCtx,
+    ws: &mut Workspace<V>,
     a: &Csr<V>,
     b: &Csr<V>,
     info: &AnalysisInfo,
@@ -58,7 +61,10 @@ fn hash_block<V: Scalar>(
     cfg: &SpeckConfig,
 ) -> (Vec<u32>, bool) {
     let threads = ctx.threads();
-    let nnz_a: u64 = rows.iter().map(|&r| info.rows[r as usize].nnz_a as u64).sum();
+    let nnz_a: u64 = rows
+        .iter()
+        .map(|&r| info.rows[r as usize].nnz_a as u64)
+        .sum();
     let products: u64 = rows.iter().map(|&r| info.rows[r as usize].products).sum();
     let max_b: u64 = rows
         .iter()
@@ -68,13 +74,18 @@ fn hash_block<V: Scalar>(
     let g = select_group_size(cfg.local_lb, threads, nnz_a, products, max_b);
     let k = (threads / g).max(1);
 
-    ctx.scratch.reserve(capacity * entry_bytes, "symbolic hash map");
-    let mut acc: Accumulator<V> = Accumulator::new(capacity);
-    let mut iters: Vec<u64> = Vec::with_capacity(nnz_a as usize);
+    ctx.scratch
+        .reserve(capacity * entry_bytes, "symbolic hash map");
+    let acc = &mut ws.acc;
+    acc.reset(capacity);
+    let iters = &mut ws.iters;
+    iters.clear();
     let mut tx = 0u64;
+    let mut counts = vec![0u32; rows.len()];
 
     for (li, &r) in rows.iter().enumerate() {
         let (a_cols, _) = a.row(r as usize);
+        let mut row_count = 0u32;
         for &kc in a_cols {
             let (b_cols, _) = b.row(kc as usize);
             iters.push((b_cols.len() as u64).div_ceil(g as u64));
@@ -82,33 +93,35 @@ fn hash_block<V: Scalar>(
             for batch in b_cols.chunks(g.max(1)) {
                 acc.reserve_or_spill(batch.len());
                 for &j in batch {
-                    acc.insert_key(compound_key(li as u32, j));
+                    row_count += u32::from(acc.insert_key(compound_key(li as u32, j)));
                 }
             }
         }
+        counts[li] = row_count;
     }
 
     ctx.charge_rounds(simulate_group_rounds(k, iters.iter().copied()));
     ctx.charge_gmem_tx(tx);
     ctx.charge_gmem_scatter(nnz_a); // B row-offset pair per NZ of A (one sector)
-    // Insert issue cost is part of the loop rounds; only contention
-    // beyond the first probe is charged separately.
+                                    // Insert issue cost is part of the loop rounds; only contention
+                                    // beyond the first probe is charged separately.
     ctx.charge_probes(acc.stats.probes);
     ctx.charge_spill(acc.stats.spilled);
     ctx.charge_gmem_atomic(acc.stats.gmem_inserts);
     ctx.charge_sync();
-    // Extraction: per-row counters are bumped at insert time (folded into
-    // the iteration's instruction bundle, i.e. the issue rounds), so no
-    // map rescan is needed — just write the counts out.
+    // Extraction: the per-row counters were bumped at insert time (folded
+    // into the iteration's instruction bundle, i.e. the issue rounds), so
+    // no map rescan is needed — just write the counts out.
     ctx.charge_gmem_scatter(rows.len() as u64);
 
-    (acc.counts_per_local_row(rows.len()), acc.spilled_to_global())
+    (counts, acc.spilled_to_global())
 }
 
 /// Per-block symbolic dense kernel: one (huge) row counted with a chunked
 /// bitmask (paper Fig. 5, symbolic variant).
 fn dense_block<V: Scalar>(
     ctx: &mut BlockCtx,
+    ws: &mut Workspace<V>,
     a: &Csr<V>,
     b: &Csr<V>,
     info: &AnalysisInfo,
@@ -123,13 +136,13 @@ fn dense_block<V: Scalar>(
     }
     ctx.scratch.reserve(bits / 8, "symbolic dense bitmask");
     let (a_cols, _) = a.row(row as usize);
-    let mut cursors: Vec<usize> = a_cols
-        .iter()
-        .map(|&k| b.row_range(k as usize).start)
-        .collect();
+    let cursors = &mut ws.cursors;
+    cursors.clear();
+    cursors.extend(a_cols.iter().map(|&k| b.row_range(k as usize).start));
     let iterations = range.div_ceil(bits as u64);
     let width = (bits as u64).min(range) as usize;
-    let mut chunk: DenseChunk<V> = DenseChunk::symbolic(ri.col_min, width);
+    let chunk = &mut ws.dense;
+    chunk.reuse_symbolic(ri.col_min, width);
     let mut count = 0u32;
     let cols_b = b.col_idx();
     for it in 0..iterations {
@@ -137,18 +150,23 @@ fn dense_block<V: Scalar>(
         if it > 0 {
             let w = (range - it * bits as u64).min(bits as u64) as usize;
             if w != chunk.width() {
-                chunk = DenseChunk::symbolic(base as u32, w);
+                chunk.reuse_symbolic(base as u32, w);
             } else {
                 chunk.reset(base as u32);
             }
         }
         let end = base + bits as u64;
-        for (i, &k) in a_cols.iter().enumerate() {
+        for (cur, &k) in cursors.iter_mut().zip(a_cols) {
             let row_end = b.row_range(k as usize).end;
-            while cursors[i] < row_end && (cols_b[cursors[i]] as u64) < end {
-                chunk.mark(cols_b[cursors[i]]);
-                cursors[i] += 1;
-            }
+            // The one-iteration common case consumes whole rows; otherwise
+            // split the sorted row at the window end.
+            let stop = if iterations == 1 {
+                row_end
+            } else {
+                *cur + cols_b[*cur..row_end].partition_point(|&c| (c as u64) < end)
+            };
+            chunk.mark_all(&cols_b[*cur..stop]);
+            *cur = stop;
         }
         count += chunk.touched() as u32;
         // Per-chunk cost: cursor bookkeeping and the bit-count reduction.
@@ -201,31 +219,44 @@ pub fn run_symbolic<V: Scalar>(
     b: &Csr<V>,
     info: &AnalysisInfo,
     plan: &PassPlan,
+    pool: &WorkspacePool<V>,
 ) -> SymbolicOutput {
     let entry_bytes = symbolic_entry_bytes(b.cols());
     let mut row_nnz = vec![0u32; a.rows()];
     let mut reports = Vec::new();
     let mut spilled_blocks = 0usize;
 
-    for ((method, cfg_idx), blocks) in group_blocks(plan) {
+    for ((method, cfg_idx), group) in group_blocks(plan) {
         let kc = cascade.config(cfg_idx);
+        let block = |i: usize| &plan.blocks[group[i]];
         match method {
             0 => {
                 let capacity = cascade.hash_capacity(cfg_idx, entry_bytes);
                 let (report, outs) = launch_map(
                     dev,
                     cost,
-                    &format!("symbolic_hash_c{cfg_idx}"),
-                    blocks.len(),
+                    format!("symbolic_hash_c{cfg_idx}"),
+                    group.len(),
                     kc,
                     |ctx| {
-                        let bp = &blocks[ctx.block_id()];
-                        hash_block(ctx, a, b, info, &bp.rows, capacity, entry_bytes, cfg)
+                        let bp = block(ctx.block_id());
+                        let mut ws = pool.acquire();
+                        hash_block(
+                            ctx,
+                            &mut ws,
+                            a,
+                            b,
+                            info,
+                            &bp.rows,
+                            capacity,
+                            entry_bytes,
+                            cfg,
+                        )
                     },
                 );
-                for (bp, (counts, spilled)) in blocks.iter().zip(outs) {
+                for (&bi, (counts, spilled)) in group.iter().zip(outs) {
                     spilled_blocks += usize::from(spilled);
-                    for (&r, c) in bp.rows.iter().zip(counts) {
+                    for (&r, c) in plan.blocks[bi].rows.iter().zip(counts) {
                         row_nnz[r as usize] = c;
                     }
                 }
@@ -236,34 +267,29 @@ pub fn run_symbolic<V: Scalar>(
                 let (report, outs) = launch_map(
                     dev,
                     cost,
-                    &format!("symbolic_dense_c{cfg_idx}"),
-                    blocks.len(),
+                    format!("symbolic_dense_c{cfg_idx}"),
+                    group.len(),
                     kc,
                     |ctx| {
-                        let bp = &blocks[ctx.block_id()];
-                        dense_block(ctx, a, b, info, bp.rows[0], bits)
+                        let bp = block(ctx.block_id());
+                        let mut ws = pool.acquire();
+                        dense_block(ctx, &mut ws, a, b, info, bp.rows[0], bits)
                     },
                 );
-                for (bp, count) in blocks.iter().zip(outs) {
-                    row_nnz[bp.rows[0] as usize] = count;
+                for (&bi, count) in group.iter().zip(outs) {
+                    row_nnz[plan.blocks[bi].rows[0] as usize] = count;
                 }
                 reports.push(report);
             }
             _ => {
                 let dk = KernelConfig::new(256.min(dev.max_threads_per_block), 0);
-                let (report, outs) = launch_map(
-                    dev,
-                    cost,
-                    "symbolic_direct",
-                    blocks.len(),
-                    dk,
-                    |ctx| {
-                        let bp = &blocks[ctx.block_id()];
+                let (report, outs) =
+                    launch_map(dev, cost, "symbolic_direct", group.len(), dk, |ctx| {
+                        let bp = block(ctx.block_id());
                         direct_block(ctx, a, b, &bp.rows)
-                    },
-                );
-                for (bp, counts) in blocks.iter().zip(outs) {
-                    for (&r, c) in bp.rows.iter().zip(counts) {
+                    });
+                for (&bi, counts) in group.iter().zip(outs) {
+                    for (&r, c) in plan.blocks[bi].rows.iter().zip(counts) {
                         row_nnz[r as usize] = c;
                     }
                 }
@@ -293,7 +319,8 @@ mod tests {
         let cascade = KernelCascade::for_device(&dev);
         let (info, _) = analyze(&dev, &cost, a, a);
         let plan = plan_symbolic(&dev, &cost, &cascade, cfg, &info, a.cols());
-        let out = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &plan);
+        let pool = WorkspacePool::new();
+        let out = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &plan, &pool);
         let expect = spgemm_row_nnz(a, a);
         for (i, (&got, &want)) in out.row_nnz.iter().zip(expect.iter()).enumerate() {
             assert_eq!(got as usize, want, "row {i}");
@@ -356,8 +383,10 @@ mod tests {
             crate::GlobalLbMode::AlwaysOn,
             crate::GlobalLbMode::AlwaysOff,
         ] {
-            let mut cfg = SpeckConfig::default();
-            cfg.global_lb = mode;
+            let cfg = SpeckConfig {
+                global_lb: mode,
+                ..SpeckConfig::default()
+            };
             check_counts(&a, &cfg);
         }
     }

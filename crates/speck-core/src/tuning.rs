@@ -262,9 +262,7 @@ pub fn cross_validate(meas: &[MatrixMeasurement], folds: usize) -> CvResult {
         fold_thresholds.push(t);
     }
     let k = folds as f64;
-    let avg = |f: fn(&GlobalLbThresholds) -> f64| {
-        fold_thresholds.iter().map(f).sum::<f64>() / k
-    };
+    let avg = |f: fn(&GlobalLbThresholds) -> f64| fold_thresholds.iter().map(f).sum::<f64>() / k;
     let avg_rows = |f: fn(&GlobalLbThresholds) -> usize| {
         (fold_thresholds.iter().map(f).sum::<usize>() as f64 / k).round() as usize
     };
@@ -346,7 +344,11 @@ mod tests {
             ));
         }
         let t = line_search(&meas, GlobalLbThresholds::scaled_default());
-        assert!((loss(&t, &meas) - 1.0).abs() < 1e-9, "loss {}", loss(&t, &meas));
+        assert!(
+            (loss(&t, &meas) - 1.0).abs() < 1e-9,
+            "loss {}",
+            loss(&t, &meas)
+        );
         assert!(t.symbolic_ratio > 5.0 && t.symbolic_ratio <= 50.0);
         assert_eq!(accuracy(&t, &meas), 1.0);
     }
@@ -366,12 +368,14 @@ mod tests {
         let dev = DeviceConfig::titan_v();
         let cost = CostModel::default();
         let base = SpeckConfig::default();
-        let mats = [("banded", banded(800, 2, 1.0, 1)),
+        let mats = [
+            ("banded", banded(800, 2, 1.0, 1)),
             ("uniform", uniform_random(600, 600, 2, 6, 2)),
             ("rmat1", rmat(8, 8, 0.57, 0.19, 0.19, 3)),
             ("rmat2", rmat(9, 6, 0.57, 0.19, 0.19, 4)),
             ("banded2", banded(500, 4, 0.8, 5)),
-            ("uniform2", uniform_random(400, 400, 3, 9, 6))];
+            ("uniform2", uniform_random(400, 400, 3, 9, 6)),
+        ];
         let meas: Vec<MatrixMeasurement> = mats
             .iter()
             .map(|(n, m)| measure(&dev, &cost, &base, n, m, m))

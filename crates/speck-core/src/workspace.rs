@@ -1,0 +1,239 @@
+//! Reusable per-block kernel workspaces.
+//!
+//! Every simulated block used to allocate its accumulator and iteration
+//! buffers from scratch — on the host that is pure allocator traffic, since
+//! the *simulated* cost of the scratchpad is charged separately through
+//! [`speck_simt::Scratchpad`]. A [`Workspace`] owns those buffers once and
+//! re-arms them per block ("clear-on-reuse"): the hash accumulator resets
+//! its keys and statistics, the dense chunk its mask, and the scratch
+//! vectors just clear while keeping capacity.
+//!
+//! [`WorkspacePool`] hands workspaces to concurrently running blocks (one
+//! checkout per block, returned on drop), and [`SharedWorkspaces`] keeps
+//! one pool per scalar type so an engine can reuse them across `multiply`
+//! calls.
+//!
+//! **Invariant — host-side reuse never changes simulated cost.** Whatever
+//! a kernel charges through [`speck_simt::BlockCtx`] must be identical
+//! whether its buffers are freshly allocated or reused; every `reset`
+//! below therefore restores the exact logical state (including cost
+//! counters) of a fresh buffer.
+
+use crate::denseacc::DenseChunk;
+use crate::hashacc::Accumulator;
+use speck_sparse::Scalar;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Reusable buffers for one simulated block.
+#[derive(Debug)]
+pub struct Workspace<V> {
+    /// Hash accumulator (key/value arrays); re-arm with
+    /// [`Accumulator::reset`] before use.
+    pub acc: Accumulator<V>,
+    /// Dense accumulator window (mask/value arrays); re-arm with
+    /// [`DenseChunk::reuse_numeric`] / [`DenseChunk::reuse_symbolic`].
+    pub dense: DenseChunk<V>,
+    /// Per-NZ iteration counts of the current block (clear before use).
+    pub iters: Vec<u64>,
+    /// Per-A-column cursors into B's rows (clear before use).
+    pub cursors: Vec<usize>,
+    /// Sorted (key, value) staging for accumulator drains.
+    pub entries: Vec<(u64, V)>,
+}
+
+impl<V: Scalar> Workspace<V> {
+    /// A workspace with minimal buffers; they grow on first use and stay
+    /// grown.
+    pub fn new() -> Self {
+        Self {
+            acc: Accumulator::new(1),
+            dense: DenseChunk::symbolic(0, 1),
+            iters: Vec::new(),
+            cursors: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<V: Scalar> Default for Workspace<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pool of [`Workspace`]s shared by concurrently executing blocks.
+///
+/// `acquire` pops an idle workspace (or creates one when all are checked
+/// out); the guard returns it on drop. The pool therefore holds at most
+/// one workspace per peak-concurrent block, regardless of grid size.
+#[derive(Debug, Default)]
+pub struct WorkspacePool<V> {
+    idle: Mutex<Vec<Workspace<V>>>,
+}
+
+impl<V: Scalar> WorkspacePool<V> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks a workspace out; it returns to the pool when the guard
+    /// drops.
+    pub fn acquire(&self) -> WorkspaceGuard<'_, V> {
+        let ws = self.idle.lock().unwrap().pop().unwrap_or_default();
+        WorkspaceGuard {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap().len()
+    }
+}
+
+/// RAII checkout of a [`Workspace`]; dereferences to the workspace.
+pub struct WorkspaceGuard<'a, V: Scalar> {
+    pool: &'a WorkspacePool<V>,
+    ws: Option<Workspace<V>>,
+}
+
+impl<V: Scalar> std::ops::Deref for WorkspaceGuard<'_, V> {
+    type Target = Workspace<V>;
+    fn deref(&self) -> &Workspace<V> {
+        self.ws.as_ref().unwrap()
+    }
+}
+
+impl<V: Scalar> std::ops::DerefMut for WorkspaceGuard<'_, V> {
+    fn deref_mut(&mut self) -> &mut Workspace<V> {
+        self.ws.as_mut().unwrap()
+    }
+}
+
+impl<V: Scalar> Drop for WorkspaceGuard<'_, V> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.idle.lock().unwrap().push(ws);
+        }
+    }
+}
+
+/// Type-erased registry of one [`WorkspacePool`] per scalar type, letting
+/// [`crate::SpeckSpgemm`] (whose `multiply` is generic) keep its pools
+/// alive across calls.
+#[derive(Default)]
+pub struct SharedWorkspaces {
+    pools: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl SharedWorkspaces {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pool for scalar type `V`, created on first request.
+    pub fn pool<V: Scalar>(&self) -> Arc<WorkspacePool<V>> {
+        let mut pools = self.pools.lock().unwrap();
+        let entry = pools
+            .entry(TypeId::of::<V>())
+            .or_insert_with(|| Arc::new(WorkspacePool::<V>::new()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<WorkspacePool<V>>()
+            .expect("workspace pool type mismatch")
+    }
+}
+
+impl std::fmt::Debug for SharedWorkspaces {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedWorkspaces")
+            .field("pools", &self.pools.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashacc::compound_key;
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let pool: WorkspacePool<f64> = WorkspacePool::new();
+        {
+            let mut a = pool.acquire();
+            let mut b = pool.acquire();
+            a.iters.push(1);
+            b.iters.push(2);
+            assert_eq!(pool.idle_count(), 0);
+        }
+        assert_eq!(pool.idle_count(), 2);
+        let c = pool.acquire();
+        assert_eq!(pool.idle_count(), 1);
+        // The recycled buffer keeps its capacity; kernels clear it.
+        assert!(c.iters.capacity() >= 1);
+    }
+
+    #[test]
+    fn accumulator_reset_matches_fresh() {
+        let pool: WorkspacePool<f64> = WorkspacePool::new();
+        let insert_and_snapshot = |acc: &mut Accumulator<f64>| {
+            for i in 0..20u32 {
+                acc.insert(compound_key(0, i % 7), 1.5);
+            }
+            (acc.stats, acc.drain_sorted())
+        };
+        let (fresh_stats, fresh_out) = {
+            let mut acc = Accumulator::new(16);
+            insert_and_snapshot(&mut acc)
+        };
+        // Dirty a pooled accumulator at a different capacity, then reset.
+        let mut ws = pool.acquire();
+        ws.acc.reset(64);
+        for i in 0..64u32 {
+            ws.acc.insert(compound_key(1, i), 2.0);
+        }
+        ws.acc.reset(16);
+        let (reused_stats, reused_out) = insert_and_snapshot(&mut ws.acc);
+        assert_eq!(fresh_stats, reused_stats);
+        assert_eq!(fresh_out, reused_out);
+    }
+
+    #[test]
+    fn dense_reuse_matches_fresh() {
+        let mut fresh: DenseChunk<f64> = DenseChunk::numeric(10, 30);
+        fresh.add(12, 1.0);
+        fresh.add(29, 2.0);
+
+        let mut ws: Workspace<f64> = Workspace::new();
+        ws.dense.reuse_symbolic(100, 200);
+        ws.dense.mark(150);
+        ws.dense.reuse_numeric(10, 30);
+        ws.dense.add(12, 1.0);
+        ws.dense.add(29, 2.0);
+
+        assert_eq!(fresh.extract_sorted(), ws.dense.extract_sorted());
+        assert_eq!(fresh.ops, ws.dense.ops);
+        assert_eq!(fresh.touched(), ws.dense.touched());
+    }
+
+    #[test]
+    fn shared_workspaces_one_pool_per_type() {
+        let shared = SharedWorkspaces::new();
+        let p1 = shared.pool::<f64>();
+        let p2 = shared.pool::<f64>();
+        let p3 = shared.pool::<f32>();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        drop(p3);
+        {
+            let _g = p1.acquire();
+        }
+        assert_eq!(shared.pool::<f64>().idle_count(), 1);
+    }
+}

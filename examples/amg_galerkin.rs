@@ -85,5 +85,8 @@ fn main() {
         a.nnz(),
         a.avg_row_nnz()
     );
-    println!("\nwhole Galerkin hierarchy: {:.1} us simulated SpGEMM time", total * 1e6);
+    println!(
+        "\nwhole Galerkin hierarchy: {:.1} us simulated SpGEMM time",
+        total * 1e6
+    );
 }

@@ -93,9 +93,19 @@ fn main() {
                 r.sim_time_s * 1e6,
                 2.0 * products as f64 / r.sim_time_s / 1e9,
                 r.peak_mem_bytes as f64 / (1 << 20) as f64,
-                if r.sorted_output { "" } else { "unsorted output!" }
+                if r.sorted_output {
+                    ""
+                } else {
+                    "unsorted output!"
+                }
             ),
-            Some(why) => println!("{:<10} {:>11} {:>9} {:>10}  FAILED: {why}", method.name(), "-", "-", "-"),
+            Some(why) => println!(
+                "{:<10} {:>11} {:>9} {:>10}  FAILED: {why}",
+                method.name(),
+                "-",
+                "-",
+                "-"
+            ),
         }
     }
 }

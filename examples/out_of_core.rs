@@ -25,7 +25,10 @@ fn main() {
         a.products(&a)
     );
 
-    println!("\n{:>14} {:>7} {:>12} {:>12}", "budget", "bands", "time [us]", "peak [MiB]");
+    println!(
+        "\n{:>14} {:>7} {:>12} {:>12}",
+        "budget", "bands", "time [us]", "peak [MiB]"
+    );
     let full = a.size_bytes() * 64; // effectively unconstrained
     for budget in [full, a.size_bytes() * 4, a.size_bytes() * 2, a.size_bytes()] {
         let (c, report) = multiply_partitioned(&dev, &cost, &cfg, &a, &a, budget);

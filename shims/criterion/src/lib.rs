@@ -1,0 +1,202 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`, `black_box` — as a
+//! small wall-clock harness: each bench warms up, then reports the median
+//! of a handful of timed samples. No statistics engine, no HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part bench identifier.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median over several samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and calibration: run until ~10ms or 3 iterations.
+        let cal = Instant::now();
+        let mut warm_iters = 0u64;
+        while cal.elapsed().as_millis() < 10 || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = cal.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Aim each sample at ~20ms of work, 5 samples.
+        let iters_per_sample = ((20e6 / per_iter.max(1.0)) as u64).clamp(1, 100_000);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a standalone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benches.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the shim
+    /// always takes a fixed number of samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Runs `f` with an input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { median_ns: 0.0 };
+    f(&mut b);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / b.median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if b.median_ns > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / b.median_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    if b.median_ns >= 1e6 {
+        println!("{label:<50} {:>12.3} ms/iter{extra}", b.median_ns / 1e6);
+    } else if b.median_ns >= 1e3 {
+        println!("{label:<50} {:>12.3} us/iter{extra}", b.median_ns / 1e3);
+    } else {
+        println!("{label:<50} {:>12.1} ns/iter{extra}", b.median_ns);
+    }
+}
+
+/// Declares a bench group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(10);
+        g.bench_function("f", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::new("id", 3), &3, |b, &x| b.iter(|| x + 1));
+        g.finish();
+    }
+}

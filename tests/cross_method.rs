@@ -31,7 +31,10 @@ fn check_all(a: &Csr<f64>, b: &Csr<f64>, what: &str) {
     // The extra ESC representative (not in the Table 3 lineup).
     let r = CuspEsc.multiply(&dev, &cost, a, b);
     assert!(r.ok());
-    assert!(r.c.unwrap().approx_eq(&expect, 1e-9, 1e-12), "{what}: cusp-esc");
+    assert!(
+        r.c.unwrap().approx_eq(&expect, 1e-9, 1e-12),
+        "{what}: cusp-esc"
+    );
 }
 
 #[test]
@@ -89,7 +92,10 @@ fn memory_ordering_matches_paper_table_3() {
             .unwrap()
     };
     let speck = mem("speck");
-    assert!(mem("cusparse") < 2 * speck, "cusparse should be close to speck");
+    assert!(
+        mem("cusparse") < 2 * speck,
+        "cusparse should be close to speck"
+    );
     assert!(mem("nsparse") >= speck);
     assert!(mem("rmerge") > speck);
     assert!(mem("bhsparse") > mem("nsparse"));

@@ -14,7 +14,10 @@ fn speck_times_and_results_are_bit_stable() {
     for _ in 0..3 {
         let (c2, r2) = engine.multiply(&a, &a);
         assert!(c1.approx_eq(&c2, 0.0, 0.0), "results must be identical");
-        assert_eq!(r1.sim_time_s, r2.sim_time_s, "simulated time must be stable");
+        assert_eq!(
+            r1.sim_time_s, r2.sim_time_s,
+            "simulated time must be stable"
+        );
         assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
         assert_eq!(r1.numeric_methods, r2.numeric_methods);
     }

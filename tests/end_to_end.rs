@@ -17,15 +17,22 @@ fn check(a: &Csr<f64>, b: &Csr<f64>, what: &str) {
     c.validate().unwrap_or_else(|e| panic!("{what}: {e}"));
     let expect = spgemm_seq(a, b);
     assert!(c.approx_eq(&expect, 1e-9, 1e-12), "{what}: wrong result");
-    assert!(report.sim_time_s > 0.0 && report.sim_time_s.is_finite(), "{what}");
+    assert!(
+        report.sim_time_s > 0.0 && report.sim_time_s.is_finite(),
+        "{what}"
+    );
     assert_eq!(report.products, a.products(b), "{what}: product count");
 }
 
 #[test]
 fn banded_family() {
-    for (i, &(n, hb, fill)) in [(500usize, 1usize, 1.0f64), (2_000, 4, 0.8), (6_000, 16, 0.6)]
-        .iter()
-        .enumerate()
+    for (i, &(n, hb, fill)) in [
+        (500usize, 1usize, 1.0f64),
+        (2_000, 4, 0.8),
+        (6_000, 16, 0.6),
+    ]
+    .iter()
+    .enumerate()
     {
         let a = banded(n, hb, fill, 900 + i as u64);
         check(&a, &a, &format!("banded {n}/{hb}"));

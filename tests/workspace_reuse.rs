@@ -1,0 +1,92 @@
+//! Workspace reuse must be invisible: an engine that has already pooled
+//! buffers from earlier multiplications must return the same bytes and
+//! charge the same simulated cost as a freshly built engine.
+
+use proptest::prelude::*;
+use speck_repro::sparse::{Coo, Csr};
+use speck_repro::speck::SpeckSpgemm;
+
+fn arb_csr(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
+    proptest::collection::vec(
+        (
+            0..rows as u32,
+            0..cols as u32,
+            (-500i32..500).prop_map(|v| v as f64 / 16.0 + 0.03125),
+        ),
+        0..=max_nnz,
+    )
+    .prop_map(move |trips| {
+        let mut coo: Coo<f64> = Coo::new(rows, cols);
+        for (r, c, v) in trips {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reused_engine_is_byte_identical_to_fresh(
+        a in arb_csr(24, 20, 160),
+        b in arb_csr(20, 28, 160),
+    ) {
+        let reused = SpeckSpgemm::default();
+        // Prime the pools so the second call runs entirely on recycled
+        // buffers.
+        let _ = reused.multiply(&a, &b);
+        let (c_r, r_r) = reused.multiply(&a, &b);
+
+        let fresh = SpeckSpgemm::default();
+        let (c_f, r_f) = fresh.multiply(&a, &b);
+
+        prop_assert_eq!(c_r.row_ptr(), c_f.row_ptr());
+        prop_assert_eq!(c_r.col_idx(), c_f.col_idx());
+        prop_assert_eq!(c_r.vals().len(), c_f.vals().len());
+        for (x, y) in c_r.vals().iter().zip(c_f.vals()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(r_r.sim_time_s.to_bits(), r_f.sim_time_s.to_bits());
+        prop_assert_eq!(r_r.peak_mem_bytes, r_f.peak_mem_bytes);
+    }
+}
+
+#[test]
+fn pools_survive_scalar_type_changes() {
+    // One engine alternating f64 and f32 work keeps one pool per type;
+    // neither interferes with the other's results or simulated cost.
+    let engine = SpeckSpgemm::default();
+    let a64 = speck_repro::sparse::gen::uniform_random(200, 200, 2, 8, 17);
+    let a32: Csr<f32> = Csr::from_parts_unchecked(
+        a64.rows(),
+        a64.cols(),
+        a64.row_ptr().to_vec(),
+        a64.col_idx().to_vec(),
+        a64.vals().iter().map(|&v| v as f32).collect(),
+    );
+    let (c64_first, r64_first) = engine.multiply(&a64, &a64);
+    let (c32_first, r32_first) = engine.multiply(&a32, &a32);
+    for _ in 0..2 {
+        let (c64, r64) = engine.multiply(&a64, &a64);
+        let (c32, r32) = engine.multiply(&a32, &a32);
+        assert!(c64.approx_eq(&c64_first, 0.0, 0.0));
+        assert!(c32.approx_eq(&c32_first, 0.0, 0.0));
+        assert_eq!(r64.sim_time_s, r64_first.sim_time_s);
+        assert_eq!(r32.sim_time_s, r32_first.sim_time_s);
+        assert_eq!(r64.peak_mem_bytes, r64_first.peak_mem_bytes);
+        assert_eq!(r32.peak_mem_bytes, r32_first.peak_mem_bytes);
+    }
+}
+
+#[test]
+fn cloned_engines_share_pools_and_agree() {
+    let engine = SpeckSpgemm::default();
+    let clone = engine.clone();
+    let a = speck_repro::sparse::gen::rmat(8, 6, 0.57, 0.19, 0.19, 23);
+    let (c1, r1) = engine.multiply(&a, &a);
+    let (c2, r2) = clone.multiply(&a, &a);
+    assert!(c1.approx_eq(&c2, 0.0, 0.0));
+    assert_eq!(r1.sim_time_s, r2.sim_time_s);
+    assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
+}
