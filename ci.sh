@@ -3,13 +3,23 @@
 #
 #   ./ci.sh           # fmt + clippy + tests
 #   ./ci.sh --bench   # ... plus the wall-clock throughput benchmark
+#   ./ci.sh --smoke   # ... plus a simulation-neutrality check: fails if
+#                     #     the cold-path sim digest moved
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Cold-path simulation digest pinned by the last simulation-affecting
+# change. Host-side work (pooling, plan caching, batching) must keep it;
+# intentional simulator/algorithm changes update it alongside
+# BENCH_throughput.json.
+EXPECTED_SIM_DIGEST=6d086aa6157bb570
+
 run_bench=0
+run_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
+        --smoke) run_smoke=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -26,6 +36,12 @@ cargo test --workspace --release
 if [ "$run_bench" -eq 1 ]; then
     echo "==> throughput benchmark"
     cargo run --release -p speck-bench --bin bench_throughput -- 3 BENCH_throughput.json
+fi
+
+if [ "$run_smoke" -eq 1 ]; then
+    echo "==> simulation-neutrality smoke (expect digest $EXPECTED_SIM_DIGEST)"
+    cargo run --release -p speck-bench --bin bench_throughput -- \
+        3 /tmp/BENCH_smoke.json --expect-digest "$EXPECTED_SIM_DIGEST"
 fi
 
 echo "CI OK"

@@ -15,8 +15,8 @@ use speck_core::analysis::analyze;
 use speck_core::cascade::{numeric_entry_bytes, symbolic_entry_bytes, KernelCascade};
 use speck_core::config::{LocalLbMode, SpeckConfig};
 use speck_core::global_lb::{AccMethod, BlockPlan, PassPlan, ThresholdSet};
-use speck_core::numeric::run_numeric;
-use speck_core::symbolic::run_symbolic;
+use speck_core::numeric::{row_ptr_from_nnz, run_numeric, NumericJob};
+use speck_core::symbolic::{group_blocks, run_symbolic};
 use speck_core::WorkspacePool;
 use speck_simt::{CostModel, DeviceConfig};
 use speck_sparse::Csr;
@@ -181,18 +181,15 @@ impl SpgemmMethod for NsparseLike {
 
         // Step 5: numeric pass + sorting (run_numeric charges the trailing
         // radix pass for the larger bins).
-        let num = run_numeric(
-            dev,
-            cost,
-            &cascade,
-            &cfg,
-            a,
-            b,
-            &info,
-            &nplan,
-            &sym.row_nnz,
-            &pool,
-        );
+        let ngroups = group_blocks(&nplan);
+        let row_ptr = row_ptr_from_nnz(&sym.row_nnz);
+        let job = NumericJob {
+            plan: &nplan,
+            groups: &ngroups,
+            row_nnz: &sym.row_nnz,
+            row_ptr: &row_ptr,
+        };
+        let num = run_numeric(dev, cost, &cascade, &cfg, a, b, &info, &job, &pool);
         for r in &num.reports {
             acct.kernel(r);
         }

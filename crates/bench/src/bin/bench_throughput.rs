@@ -8,13 +8,18 @@
 //! A digest of every simulated time and memory figure is included so that
 //! host-side optimisations can be checked for *simulation neutrality*: the
 //! digest must be bit-identical before and after any change that only
-//! touches host execution (see DESIGN.md §3).
+//! touches host execution (see DESIGN.md §3). The digest rounds run on a
+//! cache-disabled engine so every multiply takes the full cold pipeline;
+//! plan reuse is measured separately by the reuse and batch rounds, whose
+//! *simulated* speedup is reported as `reuse_speedup`.
 //!
-//! Usage: `cargo run --release --bin bench_throughput [-- ROUNDS [OUT [BASELINE_MPS]]]`
+//! Usage: `cargo run --release --bin bench_throughput [-- ROUNDS [OUT [BASELINE_MPS]]] [--expect-digest HEX]`
 //!
 //! `BASELINE_MPS` is a reference throughput (matrices/second) measured on
 //! the same machine — typically a pre-optimisation build run back-to-back
 //! with this one; when given, the report includes the speedup against it.
+//! `--expect-digest HEX` makes the run exit non-zero when the cold-path
+//! sim digest differs from `HEX` (CI smoke mode).
 
 use speck_bench::corpus::{common_corpus, smoke_corpus};
 use speck_core::SpeckSpgemm;
@@ -54,13 +59,42 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// Same pattern as `m`, deterministically perturbed values — what a solver
+/// hands the engine when it rebuilds an operator without changing its
+/// sparsity.
+fn perturb(m: &Csr<f64>, salt: u64) -> Csr<f64> {
+    Csr::from_parts_unchecked(
+        m.rows(),
+        m.cols(),
+        m.row_ptr().to_vec(),
+        m.col_idx().to_vec(),
+        m.vals()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * (1.0 + ((i as u64 + salt) % 13) as f64 * 1e-3))
+            .collect(),
+    )
+}
+
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut expect_digest: Option<u64> = None;
     let mut args = std::env::args().skip(1);
-    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
-    let out_path = args
+    while let Some(arg) = args.next() {
+        if arg == "--expect-digest" {
+            let hex = args.next().expect("--expect-digest needs a hex value");
+            expect_digest =
+                Some(u64::from_str_radix(&hex, 16).expect("--expect-digest: bad hex value"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let rounds: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out_path = positional
         .next()
         .unwrap_or_else(|| "BENCH_throughput.json".into());
-    let baseline_mps: Option<f64> = args.next().and_then(|s| s.parse().ok());
+    let baseline_mps: Option<f64> = positional.next().and_then(|s| s.parse().ok());
 
     // Corpus: the paper's "common" matrices plus the fast smoke subset —
     // mixes large multiplications with launch-overhead-bound tiny ones.
@@ -77,7 +111,9 @@ fn main() {
         .collect();
     let build_s = t_build.elapsed().as_secs_f64();
 
-    let engine = SpeckSpgemm::default();
+    // Digest rounds: cache disabled, so every multiply is the full cold
+    // pipeline and the digest stays comparable across plan-cache changes.
+    let engine = SpeckSpgemm::default().with_plan_cache_capacity(0);
     let mut digest = Digest::new();
     let mut total_nnz_c = 0u64;
 
@@ -90,16 +126,58 @@ fn main() {
 
     let t_mult = Instant::now();
     let mut multiplies = 0usize;
-    for _ in 0..rounds {
+    let mut cold_sim = 0.0f64;
+    for round in 0..rounds {
         for (_, a, b) in &pairs {
             let (_, report) = engine.multiply(a, b);
+            assert!(!report.reused_plan, "digest round must stay cold");
             digest.push_u64(report.sim_time_s.to_bits());
             digest.push_u64(report.peak_mem_bytes as u64);
+            if round == 0 {
+                cold_sim += report.sim_time_s;
+            }
             multiplies += 1;
         }
     }
     let mult_s = t_mult.elapsed().as_secs_f64();
     let matrices_per_sec = multiplies as f64 / mult_s;
+
+    // Reuse round: a caching engine is primed over the corpus, then runs
+    // it again with fresh values (same patterns). The reported speedup is
+    // cold simulated time (from the cache-disabled round above) over the
+    // warm simulated time — the reused calls launch no setup kernels.
+    // (Priming calls aren't asserted cold: the corpus itself repeats some
+    // patterns, which is exactly what the cache is for.)
+    let caching = SpeckSpgemm::default();
+    let mut warm_sim = 0.0f64;
+    for (_, a, b) in &pairs {
+        let _ = caching.multiply(a, b);
+    }
+    let fresh: Vec<(Csr<f64>, Csr<f64>)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, a, b))| (perturb(a, i as u64), perturb(b, i as u64 + 1)))
+        .collect();
+    let t_reuse = Instant::now();
+    for (a, b) in &fresh {
+        let (_, r) = caching.multiply(a, b);
+        assert!(r.reused_plan, "repeated pattern must reuse its plan");
+        warm_sim += r.sim_time_s;
+    }
+    let reuse_s = t_reuse.elapsed().as_secs_f64();
+    let reuse_speedup = cold_sim / warm_sim;
+
+    // Batch round: the same warm multiplies dispatched through
+    // multiply_batch (host-parallel, shared plan cache + workspaces).
+    let batch_pairs: Vec<(&Csr<f64>, &Csr<f64>)> = fresh.iter().map(|(a, b)| (a, b)).collect();
+    let t_batch = Instant::now();
+    let mut batch_multiplies = 0usize;
+    for _ in 0..rounds {
+        let outs = caching.multiply_batch(&batch_pairs);
+        batch_multiplies += outs.len();
+    }
+    let batch_s = t_batch.elapsed().as_secs_f64();
+    let batch_matrices_per_sec = batch_multiplies as f64 / batch_s;
     let rss = peak_rss_bytes();
 
     let mut json = String::new();
@@ -117,11 +195,20 @@ fn main() {
             matrices_per_sec / base
         );
     }
+    let _ = writeln!(json, "  \"reuse_speedup\": {reuse_speedup:.3},");
+    let _ = writeln!(json, "  \"reuse_cold_sim_s\": {cold_sim:.6},");
+    let _ = writeln!(json, "  \"reuse_warm_sim_s\": {warm_sim:.6},");
+    let _ = writeln!(
+        json,
+        "  \"batch_matrices_per_sec\": {batch_matrices_per_sec:.3},"
+    );
     let _ = writeln!(json, "  \"total_nnz_c_per_round\": {total_nnz_c},");
     let _ = writeln!(json, "  \"peak_rss_bytes\": {rss},");
     let _ = writeln!(json, "  \"stage_wall_s\": {{");
     let _ = writeln!(json, "    \"build_corpus\": {build_s:.3},");
-    let _ = writeln!(json, "    \"multiply\": {mult_s:.3}");
+    let _ = writeln!(json, "    \"multiply\": {mult_s:.3},");
+    let _ = writeln!(json, "    \"reuse\": {reuse_s:.3},");
+    let _ = writeln!(json, "    \"batch\": {batch_s:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sim_digest\": \"{:016x}\"", digest.0);
     json.push_str("}\n");
@@ -130,7 +217,20 @@ fn main() {
     println!("{json}");
     println!(
         "throughput: {matrices_per_sec:.2} matrices/s over {multiplies} multiplies \
-         ({mult_s:.2}s); sim digest {:016x}; wrote {out_path}",
+         ({mult_s:.2}s); reuse speedup {reuse_speedup:.2}x (simulated); \
+         batch {batch_matrices_per_sec:.2} matrices/s; sim digest {:016x}; wrote {out_path}",
         digest.0
     );
+
+    if let Some(expect) = expect_digest {
+        if digest.0 != expect {
+            eprintln!(
+                "FAIL: cold-path sim digest {:016x} != expected {expect:016x} — \
+                 a host-side change moved simulated results",
+                digest.0
+            );
+            std::process::exit(1);
+        }
+        println!("cold-path sim digest matches expected {expect:016x}");
+    }
 }

@@ -112,14 +112,22 @@ fn main() {
     let products = a.products(&b);
     println!("  {products} intermediate products\n");
 
+    // Plan once (analysis + symbolic), then time executions — the
+    // artifact's iteration loop re-runs the full pipeline, but on a
+    // repeated pattern the plan-reuse API is the hot-loop idiom.
     let engine = SpeckSpgemm::default();
+    let plan = engine.plan(&a, &b);
+    println!(
+        "plan: {:.3} ms simulated setup (analysis + symbolic), amortised across iterations",
+        plan.setup_sim_time_s() * 1e3
+    );
     for _ in 0..o.warmup {
-        let _ = engine.multiply(&a, &b);
+        let _ = engine.execute_plan(&plan, &a, &b);
     }
     let mut total = 0.0;
     let mut last = None;
     for i in 0..o.iterations.max(1) {
-        let (c, report) = engine.multiply(&a, &b);
+        let (c, report) = engine.execute_plan(&plan, &a, &b);
         total += report.sim_time_s;
         if o.individual {
             println!("iteration {i}: {:.3} ms", report.sim_time_s * 1e3);
@@ -135,11 +143,14 @@ fn main() {
     }
     let (c, report) = last.expect("at least one iteration");
     let avg = total / o.iterations.max(1) as f64;
+    let cold = plan.setup_sim_time_s() + avg;
     println!(
-        "spECK: {} output non-zeros, avg {:.3} ms simulated, {:.2} GFLOPS",
+        "spECK: {} output non-zeros, avg {:.3} ms simulated per execution \
+         ({:.3} ms cold incl. setup), {:.2} GFLOPS",
         c.nnz(),
         avg * 1e3,
-        2.0 * products as f64 / avg / 1e9
+        cold * 1e3,
+        2.0 * products as f64 / cold / 1e9
     );
     let (h, d, r) = report.numeric_methods;
     println!(

@@ -7,6 +7,7 @@
 //! information the global and local load balancers and the accumulator
 //! selection consume.
 
+use crate::cascade::{symbolic_entry_bytes, KernelCascade};
 use speck_simt::{launch_map, BlockCtx, CostModel, DeviceConfig, KernelConfig, KernelReport};
 use speck_sparse::{Csr, Scalar};
 
@@ -46,6 +47,12 @@ pub struct AnalysisInfo {
     pub max_products: u64,
     /// Total products of the multiplication.
     pub total_products: u64,
+    /// Rows whose conservative product count exceeds even the largest
+    /// symbolic hash map of the device's kernel cascade — the rows that
+    /// can force a global hash-map fallback (paper §4.3). Counted once
+    /// here so the pipeline's overflow-pool sizing (cold path and plan
+    /// reuse alike) doesn't re-scan all rows per call.
+    pub overflow_rows: usize,
 }
 
 impl AnalysisInfo {
@@ -150,11 +157,21 @@ pub fn analyze<V: Scalar>(
     }
     let max_products = rows.iter().map(|r| r.products).max().unwrap_or(0);
     let total_products = rows.iter().map(|r| r.products).sum();
+    // Host-side bookkeeping folded into the analysis sweep: it charges
+    // nothing (the simulated kernel above already paid for reading the
+    // per-row products).
+    let cascade = KernelCascade::for_device(dev);
+    let overflow_cap = cascade.hash_capacity(cascade.largest(), symbolic_entry_bytes(b.cols()));
+    let overflow_rows = rows
+        .iter()
+        .filter(|r| r.products as usize > overflow_cap)
+        .count();
     (
         AnalysisInfo {
             rows,
             max_products,
             total_products,
+            overflow_rows,
         },
         report,
     )

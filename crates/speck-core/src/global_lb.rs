@@ -62,7 +62,33 @@ pub struct PassPlan {
     pub decision_rows: usize,
 }
 
+/// Copyable decision summary of one pass plan — everything a
+/// [`crate::MultiplyReport`] needs about the pass, without keeping the
+/// full block list alive. Reusable multiplication plans
+/// ([`crate::SpgemmPlan`]) retain one per pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PassSummary {
+    /// Whether the global load balancer (binning) ran.
+    pub used_global_lb: bool,
+    /// Which threshold set the Auto decision consulted.
+    pub threshold_set: ThresholdSet,
+    /// The `m_max / m_avg` demand-variance ratio the decision consulted.
+    pub decision_ratio: f64,
+    /// Blocks per method: (hash, dense, direct).
+    pub method_counts: (usize, usize, usize),
+}
+
 impl PassPlan {
+    /// The pass's copyable decision summary (for reports).
+    pub fn summary(&self) -> PassSummary {
+        PassSummary {
+            used_global_lb: self.used_global_lb,
+            threshold_set: self.threshold_set,
+            decision_ratio: self.decision_ratio,
+            method_counts: self.method_counts(),
+        }
+    }
+
     /// Number of blocks per method, for reports and tests.
     pub fn method_counts(&self) -> (usize, usize, usize) {
         let mut h = 0;

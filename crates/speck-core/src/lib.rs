@@ -31,6 +31,29 @@
 //! assert_eq!(c.nnz(), 64);
 //! assert!(report.sim_time_s > 0.0);
 //! ```
+//!
+//! ## Plan reuse
+//!
+//! Stages 1–4 depend only on the sparsity patterns of A and B. The
+//! [`plan`] module captures them as a reusable [`SpgemmPlan`];
+//! [`SpeckSpgemm::multiply`] caches plans by pattern fingerprint so a
+//! repeated pattern transparently skips analysis and the symbolic pass,
+//! and [`SpeckSpgemm::execute_plan`] exposes the split explicitly:
+//!
+//! ```
+//! use speck_core::SpeckSpgemm;
+//! use speck_sparse::Csr;
+//!
+//! let a: Csr<f64> = Csr::identity(64);
+//! let engine = SpeckSpgemm::default();
+//! let plan = engine.plan(&a, &a);
+//! let (c, report) = engine.execute_plan(&plan, &a, &a);
+//! assert_eq!(c.nnz(), plan.nnz_c());
+//! assert!(report.reused_plan);
+//! // Independent multiplies can also run as one batch:
+//! let results = engine.multiply_batch(&[(&a, &a), (&a, &a)]);
+//! assert!(results[1].1.reused_plan);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -45,6 +68,7 @@ pub mod local_lb;
 pub mod numeric;
 pub mod partial;
 pub mod pipeline;
+pub mod plan;
 pub mod sort;
 pub mod symbolic;
 pub mod tuning;
@@ -54,5 +78,9 @@ pub use analysis::{analyze, AnalysisInfo, RowInfo};
 pub use cascade::KernelCascade;
 pub use config::{GlobalLbMode, GlobalLbThresholds, LocalLbMode, SpeckConfig};
 pub use partial::{multiply_multi_gpu, multiply_partitioned};
-pub use pipeline::{multiply, multiply_with_pool, MultiplyReport, SpeckSpgemm};
+pub use pipeline::{
+    execute_plan_with_pool, multiply, multiply_with_pool, plan_with_pool, MultiplyReport,
+    SpeckSpgemm, DEFAULT_PLAN_CACHE_CAPACITY,
+};
+pub use plan::{pattern_fingerprint, PatternKey, PlanCache, SpgemmPlan};
 pub use workspace::{SharedWorkspaces, Workspace, WorkspacePool};

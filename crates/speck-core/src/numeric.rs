@@ -20,13 +20,13 @@ use crate::local_lb::select_group_size;
 use crate::sort::{
     radix_sort_pass, scratch_sort_steps, MAX_SCRATCH_SORT_CFG, MAX_SCRATCH_SORT_ENTRIES,
 };
-use crate::symbolic::group_blocks;
 use crate::workspace::{Workspace, WorkspacePool};
 use speck_simt::{
     launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
     KernelReport,
 };
 use speck_sparse::{Csr, Scalar};
+use std::collections::BTreeMap;
 
 /// Flat output of one block: concatenated column indices and values of all
 /// its rows (row-major), plus the per-row entry counts.
@@ -251,6 +251,37 @@ fn direct_block<V: Scalar>(
     (cols_out, vals_out, counts)
 }
 
+/// Builds C's prefix-summed row offsets from the symbolic pass's exact
+/// per-row counts (`row_nnz.len() + 1` entries; the last one is NNZ(C)).
+pub fn row_ptr_from_nnz(row_nnz: &[u32]) -> Vec<usize> {
+    let mut row_ptr = Vec::with_capacity(row_nnz.len() + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for &c in row_nnz {
+        total += c as usize;
+        row_ptr.push(total);
+    }
+    row_ptr
+}
+
+/// Precomputed, pattern-only inputs of the numeric pass: the block plan
+/// with its launch groups and C's exact row structure.
+///
+/// Borrowed rather than owned so one [`crate::SpgemmPlan`] can drive any
+/// number of executions; the cold path builds these fresh per call.
+pub struct NumericJob<'a> {
+    /// The numeric block plan.
+    pub plan: &'a PassPlan,
+    /// `plan`'s blocks grouped by (method, config) for launching — the
+    /// output of [`crate::symbolic::group_blocks`].
+    pub groups: &'a BTreeMap<(u8, usize), Vec<usize>>,
+    /// Exact NNZ of every row of C (symbolic pass output).
+    pub row_nnz: &'a [u32],
+    /// Prefix-summed row offsets of C — [`row_ptr_from_nnz`] of
+    /// `row_nnz`.
+    pub row_ptr: &'a [usize],
+}
+
 /// Runs the numeric pass and assembles C.
 #[allow(clippy::too_many_arguments)]
 pub fn run_numeric<V: Scalar>(
@@ -261,26 +292,23 @@ pub fn run_numeric<V: Scalar>(
     a: &Csr<V>,
     b: &Csr<V>,
     info: &AnalysisInfo,
-    plan: &PassPlan,
-    row_nnz: &[u32],
+    job: &NumericJob<'_>,
     pool: &WorkspacePool<V>,
 ) -> NumericOutput<V> {
     let entry_bytes = numeric_entry_bytes(b.cols(), std::mem::size_of::<V>());
+    let plan = job.plan;
+    let row_nnz = job.row_nnz;
+    let row_ptr = job.row_ptr;
     let mut reports = Vec::new();
     let mut spilled_blocks = 0usize;
     let mut radix_elems = 0usize;
 
     // The symbolic counts are exact, so C's layout is known before the
-    // numeric kernels run: prefix-sum the row offsets and copy each block's
-    // flat output directly into place.
+    // numeric kernels run: the precomputed row offsets give every block's
+    // flat output its final place directly.
     let n = a.rows();
-    let mut row_ptr = Vec::with_capacity(n + 1);
-    row_ptr.push(0usize);
-    let mut total = 0usize;
-    for &c in row_nnz {
-        total += c as usize;
-        row_ptr.push(total);
-    }
+    debug_assert_eq!(row_ptr.len(), n + 1);
+    let total = *row_ptr.last().unwrap_or(&0);
     let mut col_idx = vec![0u32; total];
     let mut vals = vec![V::zero(); total];
     let mut rows_filled = 0usize;
@@ -302,7 +330,7 @@ pub fn run_numeric<V: Scalar>(
             }
         };
 
-        for ((method, cfg_idx), group) in group_blocks(plan) {
+        for (&(method, cfg_idx), group) in job.groups {
             let kc = cascade.config(cfg_idx);
             let block = |i: usize| &plan.blocks[group[i]];
             match method {
@@ -385,7 +413,7 @@ pub fn run_numeric<V: Scalar>(
     // exists to charge its cost, like the real implementation's CUB pass.)
     let sort_report = radix_sort_pass(dev, cost, radix_elems, entry_bytes);
 
-    let c = Csr::from_parts_unchecked(n, b.cols(), row_ptr, col_idx, vals);
+    let c = Csr::from_parts_unchecked(n, b.cols(), row_ptr.to_vec(), col_idx, vals);
 
     NumericOutput {
         c,
@@ -401,7 +429,7 @@ mod tests {
     use super::*;
     use crate::analysis::analyze;
     use crate::global_lb::{plan_numeric, plan_symbolic};
-    use crate::symbolic::run_symbolic;
+    use crate::symbolic::{group_blocks, run_symbolic};
     use speck_sparse::gen::{block_diagonal, rmat, uniform_random};
     use speck_sparse::reference::spgemm_seq;
 
@@ -414,6 +442,8 @@ mod tests {
         let splan = plan_symbolic(&dev, &cost, &cascade, cfg, &info, a.cols());
         let sym = run_symbolic(&dev, &cost, &cascade, cfg, a, a, &info, &splan, &pool);
         let nplan = plan_numeric(&dev, &cost, &cascade, cfg, &info, &sym.row_nnz, a.cols(), 8);
+        let groups = group_blocks(&nplan);
+        let row_ptr = row_ptr_from_nnz(&sym.row_nnz);
         run_numeric(
             &dev,
             &cost,
@@ -422,8 +452,12 @@ mod tests {
             a,
             a,
             &info,
-            &nplan,
-            &sym.row_nnz,
+            &NumericJob {
+                plan: &nplan,
+                groups: &groups,
+                row_nnz: &sym.row_nnz,
+                row_ptr: &row_ptr,
+            },
             &pool,
         )
     }
@@ -543,6 +577,8 @@ mod tests {
             a.cols(),
             4,
         );
+        let groups = group_blocks(&nplan);
+        let row_ptr = row_ptr_from_nnz(&sym.row_nnz);
         let out = run_numeric(
             &dev,
             &cost,
@@ -551,8 +587,12 @@ mod tests {
             &a,
             &a,
             &info,
-            &nplan,
-            &sym.row_nnz,
+            &NumericJob {
+                plan: &nplan,
+                groups: &groups,
+                row_nnz: &sym.row_nnz,
+                row_ptr: &row_ptr,
+            },
             &pool,
         );
         let expect64 = spgemm_seq(&a64, &a64);

@@ -1,15 +1,33 @@
 //! The end-to-end spECK pipeline (paper Fig. 2) and its public API.
+//!
+//! The pipeline is factored into two halves around the pattern/value
+//! boundary of the algorithm:
+//!
+//! * [`plan_with_pool`] runs the *setup* stages — row analysis, symbolic
+//!   load balancing, the symbolic pass, numeric load balancing — which
+//!   depend only on the sparsity patterns of A and B, and packages their
+//!   outputs as a self-contained [`SpgemmPlan`].
+//! * [`execute_plan_with_pool`] runs the *execution* stages — the numeric
+//!   pass and the trailing sort — against a plan and the operand values.
+//!
+//! [`multiply`] is plan-then-execute in one call (the cold path, bit
+//! identical to the unfactored pipeline), and [`SpeckSpgemm::multiply`]
+//! additionally caches plans by pattern fingerprint so repeated patterns
+//! transparently skip the setup stages entirely (see [`crate::plan`]).
 
 use crate::analysis::analyze;
 use crate::cascade::KernelCascade;
 use crate::config::SpeckConfig;
 use crate::global_lb::{plan_numeric, plan_symbolic, ThresholdSet};
-use crate::numeric::run_numeric;
-use crate::symbolic::run_symbolic;
+use crate::numeric::{row_ptr_from_nnz, run_numeric, NumericJob};
+use crate::plan::{fnv1a_bytes, PatternKey, PlanCache, SpgemmPlan};
+use crate::symbolic::{group_blocks, run_symbolic};
 use crate::workspace::{SharedWorkspaces, WorkspacePool};
+use rayon::prelude::*;
 use speck_simt::{CostModel, DeviceConfig, MemTracker, Timeline};
 use speck_sparse::{Csr, Scalar};
-use std::sync::Arc;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
 
 /// Stage names used in the timeline, matching paper Fig. 11.
 pub mod stage {
@@ -30,12 +48,14 @@ pub mod stage {
 /// Everything the caller may want to know about one multiplication.
 #[derive(Clone, Debug)]
 pub struct MultiplyReport {
-    /// Per-stage simulated durations (Fig. 11).
+    /// Per-stage simulated durations (Fig. 11). For a reused plan this
+    /// holds only the stages that actually ran (numeric + sorting).
     pub timeline: Timeline,
     /// Total simulated time in seconds.
     pub sim_time_s: f64,
     /// Peak simulated device memory (inputs excluded, output C included —
-    /// the paper's Table 3/Fig. 10 convention).
+    /// the paper's Table 3/Fig. 10 convention). Plan-held setup structures
+    /// are counted whether the call built them or reused them.
     pub peak_mem_bytes: usize,
     /// Whether the symbolic pass used the global load balancer.
     pub symbolic_used_lb: bool,
@@ -51,12 +71,16 @@ pub struct MultiplyReport {
     pub numeric_ratio: f64,
     /// Blocks per method in the numeric pass: (hash, dense, direct).
     pub numeric_methods: (usize, usize, usize),
-    /// Blocks that spilled to global hash maps across both passes.
+    /// Blocks that spilled to global hash maps across both passes (the
+    /// symbolic figure comes from the plan when it was reused).
     pub spilled_blocks: usize,
     /// Elements routed through the global radix sort.
     pub radix_elems: usize,
     /// Total intermediate products of the multiplication.
     pub products: u64,
+    /// Whether this call reused a precomputed [`SpgemmPlan`] and skipped
+    /// the analysis/symbolic setup stages.
+    pub reused_plan: bool,
 }
 
 impl MultiplyReport {
@@ -70,13 +94,18 @@ impl MultiplyReport {
     }
 }
 
+/// Default number of reusable plans a [`SpeckSpgemm`] caches (LRU).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
 /// Reusable engine: device + cost model + configuration.
 ///
-/// The engine also owns a [`SharedWorkspaces`] registry, so repeated
-/// `multiply` calls reuse the same host-side accumulator buffers instead of
-/// reallocating them. Reuse is a host optimisation only: the simulated cost
-/// of every call is identical to a fresh engine's (see
-/// [`crate::workspace`]). Clones share the registry.
+/// The engine owns a [`SharedWorkspaces`] registry, so repeated `multiply`
+/// calls reuse the same host-side accumulator buffers instead of
+/// reallocating them (a host optimisation only — simulated cost is
+/// unchanged), and a [`PlanCache`] keyed by pattern fingerprint, so
+/// `multiply` on a repeated sparsity pattern transparently skips the
+/// analysis and symbolic stages (an algorithmic win — simulated time
+/// drops too; the report records `reused_plan: true`). Clones share both.
 #[derive(Clone, Debug)]
 pub struct SpeckSpgemm {
     /// Simulated device.
@@ -86,6 +115,7 @@ pub struct SpeckSpgemm {
     /// Algorithm configuration.
     pub config: SpeckConfig,
     workspaces: Arc<SharedWorkspaces>,
+    plans: Arc<Mutex<PlanCache>>,
 }
 
 impl Default for SpeckSpgemm {
@@ -95,6 +125,7 @@ impl Default for SpeckSpgemm {
             cost: CostModel::default(),
             config: SpeckConfig::default(),
             workspaces: Arc::new(SharedWorkspaces::new()),
+            plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
         }
     }
 }
@@ -108,15 +139,128 @@ impl SpeckSpgemm {
         }
     }
 
+    /// Replaces the plan cache with one holding at most `capacity` plans.
+    /// Capacity 0 disables plan reuse entirely: every `multiply` runs the
+    /// full cold pipeline (useful for simulation-neutrality checks).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plans = Arc::new(Mutex::new(PlanCache::new(capacity)));
+        self
+    }
+
     /// The engine's workspace registry (one buffer pool per scalar type).
     pub fn workspaces(&self) -> &Arc<SharedWorkspaces> {
         &self.workspaces
     }
 
+    /// Lifetime `(hits, misses)` of the plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plans.lock().unwrap().stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// Drops every cached plan.
+    pub fn clear_plan_cache(&self) {
+        self.plans.lock().unwrap().clear()
+    }
+
+    /// Fingerprint of everything besides the operands that determines a
+    /// plan: device, cost model, and configuration. Part of the cache key,
+    /// so mutating the engine's public fields never revives a stale plan.
+    fn env_digest(&self) -> u64 {
+        let env = format!("{:?}|{:?}|{:?}", self.device, self.cost, self.config);
+        fnv1a_bytes(env.as_bytes())
+    }
+
     /// Computes `C = A · B`; returns the result and the full report.
+    ///
+    /// When the `(A, B)` sparsity pattern (and scalar type, device, cost
+    /// model, and configuration) matches a cached plan, the setup stages
+    /// are skipped and the report's `reused_plan` is true; otherwise the
+    /// full pipeline runs and the new plan is cached.
     pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
         let pool = self.workspaces.pool::<V>();
-        multiply_with_pool(&self.device, &self.cost, &self.config, a, b, &pool)
+        if self.plans.lock().unwrap().capacity() == 0 {
+            return multiply_with_pool(&self.device, &self.cost, &self.config, a, b, &pool);
+        }
+        let key = PatternKey::new(a, b, self.env_digest());
+        if let Some(hit) = self.plans.lock().unwrap().get(&key) {
+            if let Ok(plan) = hit.downcast::<SpgemmPlan<V>>() {
+                return execute_inner(
+                    &self.device,
+                    &self.cost,
+                    &self.config,
+                    &plan,
+                    a,
+                    b,
+                    &pool,
+                    true,
+                );
+            }
+        }
+        let plan = Arc::new(plan_with_pool(
+            &self.device,
+            &self.cost,
+            &self.config,
+            a,
+            b,
+            &pool,
+        ));
+        let out = execute_inner(
+            &self.device,
+            &self.cost,
+            &self.config,
+            &plan,
+            a,
+            b,
+            &pool,
+            false,
+        );
+        self.plans.lock().unwrap().insert(key, plan);
+        out
+    }
+
+    /// Runs the setup stages only (analysis, symbolic load balancing,
+    /// symbolic pass, numeric load balancing) and returns the reusable
+    /// plan. Pair with [`SpeckSpgemm::execute_plan`] to amortise the setup
+    /// across many multiplications of the same pattern.
+    pub fn plan<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> SpgemmPlan<V> {
+        let pool = self.workspaces.pool::<V>();
+        plan_with_pool(&self.device, &self.cost, &self.config, a, b, &pool)
+    }
+
+    /// Executes a plan against operands with the *same sparsity pattern*
+    /// it was built from (values may differ): numeric pass + sort only.
+    /// The report's timeline holds just those stages and `reused_plan` is
+    /// true. Panics when the operands' shape or NNZ disagree with the
+    /// plan; matching column structure is the caller's contract (the
+    /// cached [`SpeckSpgemm::multiply`] verifies it by fingerprint).
+    pub fn execute_plan<V: Scalar>(
+        &self,
+        plan: &SpgemmPlan<V>,
+        a: &Csr<V>,
+        b: &Csr<V>,
+    ) -> (Csr<V>, MultiplyReport) {
+        let pool = self.workspaces.pool::<V>();
+        execute_plan_with_pool(&self.device, &self.cost, &self.config, plan, a, b, &pool)
+    }
+
+    /// Multiplies every `(A, B)` pair, running independent multiplies
+    /// across the rayon pool. All calls share the engine's workspace
+    /// registry and plan cache, so repeated patterns inside (or across)
+    /// batches hit the reuse fast path. Results are returned in input
+    /// order.
+    pub fn multiply_batch<V: Scalar>(
+        &self,
+        pairs: &[(&Csr<V>, &Csr<V>)],
+    ) -> Vec<(Csr<V>, MultiplyReport)> {
+        pairs
+            .par_iter()
+            .map(|&(a, b)| self.multiply(a, b))
+            .collect()
     }
 }
 
@@ -145,16 +289,33 @@ pub fn multiply_with_pool<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
 ) -> (Csr<V>, MultiplyReport) {
+    let plan = plan_with_pool(dev, cost, cfg, a, b, pool);
+    execute_inner(dev, cost, cfg, &plan, a, b, pool, false)
+}
+
+/// Runs the setup stages (analysis + symbolic load balancing + symbolic
+/// pass + numeric load balancing) and returns the self-contained
+/// [`SpgemmPlan`]. The plan captures the setup stages' simulated timeline
+/// and device-memory footprint, so executing it cold reproduces
+/// [`multiply`] bit for bit.
+pub fn plan_with_pool<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pool: &WorkspacePool<V>,
+) -> SpgemmPlan<V> {
     assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
     let cascade = KernelCascade::for_device(dev);
     let mut timeline = Timeline::new();
-    let mut mem = MemTracker::new();
+    let mut setup_mem_bytes = 0usize;
     let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
 
     // Stage 1: row analysis.
     let (info, analysis_report) = analyze(dev, cost, a, b);
     timeline.add_kernel(stage::ANALYSIS, &analysis_report);
-    mem.alloc(info.rows.len() * std::mem::size_of::<crate::analysis::RowInfo>());
+    setup_mem_bytes += info.rows.len() * std::mem::size_of::<crate::analysis::RowInfo>();
     timeline.add_fixed(stage::ANALYSIS, alloc_s(1));
 
     // Stage 2: symbolic load balancing.
@@ -163,7 +324,7 @@ pub fn multiply_with_pool<V: Scalar>(
         timeline.add_kernel(stage::SYMBOLIC_LOAD, r);
     }
     if splan.lb_alloc_bytes > 0 {
-        mem.alloc(splan.lb_alloc_bytes);
+        setup_mem_bytes += splan.lb_alloc_bytes;
         timeline.add_fixed(stage::SYMBOLIC_LOAD, alloc_s(1));
     }
 
@@ -173,13 +334,8 @@ pub fn multiply_with_pool<V: Scalar>(
         timeline.add_kernel(stage::SYMBOLIC, r);
     }
     // Row-count array + prefix sum for C's offsets.
-    mem.alloc((a.rows() + 1) * 8);
+    setup_mem_bytes += (a.rows() + 1) * 8;
     timeline.add_fixed(stage::SYMBOLIC, alloc_s(1));
-
-    // Output matrix C: counted for memory, not for time (paper §6: "the
-    // memory allocation of the output matrix is not measured").
-    let nnz_c: usize = sym.row_nnz.iter().map(|&x| x as usize).sum();
-    mem.alloc(nnz_c * (4 + std::mem::size_of::<V>()));
 
     // Stage 4: numeric load balancing on exact sizes.
     let nplan = plan_numeric(
@@ -196,45 +352,101 @@ pub fn multiply_with_pool<V: Scalar>(
         timeline.add_kernel(stage::NUMERIC_LOAD, r);
     }
     if nplan.lb_alloc_bytes > 0 {
-        mem.alloc(nplan.lb_alloc_bytes);
+        setup_mem_bytes += nplan.lb_alloc_bytes;
         timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
     }
 
     // Global hash-map fallback pool: as many maps as can be live at once
-    // (paper §4.3), sized by the largest conceivable overflow row.
-    let largest_cfg = cascade.config(cascade.largest());
-    let overflow_rows = info
-        .rows
-        .iter()
-        .filter(|r| {
-            r.products as usize
-                > cascade.hash_capacity(
-                    cascade.largest(),
-                    crate::cascade::symbolic_entry_bytes(b.cols()),
-                )
-        })
-        .count();
-    if overflow_rows > 0 {
-        let pool = overflow_rows
+    // (paper §4.3), sized by the largest conceivable overflow row. The
+    // overflow-row count was hoisted into the analysis sweep.
+    if info.overflow_rows > 0 {
+        let largest_cfg = cascade.config(cascade.largest());
+        let live = info
+            .overflow_rows
             .min(dev.max_concurrent_blocks(largest_cfg.threads, largest_cfg.scratch_bytes));
         let per_map = info.max_products as usize * (8 + std::mem::size_of::<V>());
-        mem.alloc(pool * per_map);
+        setup_mem_bytes += live * per_map;
         timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
     }
 
+    let row_ptr = row_ptr_from_nnz(&sym.row_nnz);
+    let ngroups = group_blocks(&nplan);
+    SpgemmPlan {
+        a_rows: a.rows(),
+        a_cols: a.cols(),
+        b_cols: b.cols(),
+        a_nnz: a.nnz(),
+        b_nnz: b.nnz(),
+        symbolic: splan.summary(),
+        numeric: nplan.summary(),
+        info,
+        nplan,
+        ngroups,
+        row_nnz: sym.row_nnz,
+        row_ptr,
+        setup_timeline: timeline,
+        setup_mem_bytes,
+        sym_spilled_blocks: sym.spilled_blocks,
+        _values: PhantomData,
+    }
+}
+
+/// Executes `plan` against `(a, b)` as a *reused* plan: only the numeric
+/// pass and the trailing sort run; the report's timeline holds just those
+/// stages and `reused_plan` is true. See
+/// [`SpeckSpgemm::execute_plan`] for the operand contract.
+pub fn execute_plan_with_pool<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    plan: &SpgemmPlan<V>,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pool: &WorkspacePool<V>,
+) -> (Csr<V>, MultiplyReport) {
+    execute_inner(dev, cost, cfg, plan, a, b, pool, true)
+}
+
+/// The execution half of the pipeline. Cold calls (`reused == false`)
+/// start from the plan's setup timeline so the combined report is bit
+/// identical to the unfactored pipeline; reused calls start from an empty
+/// timeline. Device memory is accounted identically either way — the
+/// setup structures the numeric kernels read (analysis records, row
+/// counts, the overflow pool) are resident whether this call built them
+/// or a previous one did.
+#[allow(clippy::too_many_arguments)]
+fn execute_inner<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    plan: &SpgemmPlan<V>,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pool: &WorkspacePool<V>,
+    reused: bool,
+) -> (Csr<V>, MultiplyReport) {
+    plan.check_shape(a, b);
+    let cascade = KernelCascade::for_device(dev);
+    let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
+    let mut timeline = if reused {
+        Timeline::new()
+    } else {
+        plan.setup_timeline.clone()
+    };
+    let mut mem = MemTracker::new();
+    mem.alloc(plan.setup_mem_bytes);
+    // Output matrix C: counted for memory, not for time (paper §6: "the
+    // memory allocation of the output matrix is not measured").
+    mem.alloc(plan.nnz_c() * (4 + std::mem::size_of::<V>()));
+
     // Stage 5: numeric SpGEMM.
-    let num = run_numeric(
-        dev,
-        cost,
-        &cascade,
-        cfg,
-        a,
-        b,
-        &info,
-        &nplan,
-        &sym.row_nnz,
-        pool,
-    );
+    let job = NumericJob {
+        plan: &plan.nplan,
+        groups: &plan.ngroups,
+        row_nnz: &plan.row_nnz,
+        row_ptr: &plan.row_ptr,
+    };
+    let num = run_numeric(dev, cost, &cascade, cfg, a, b, &plan.info, &job, pool);
     for r in &num.reports {
         timeline.add_kernel(stage::NUMERIC, r);
     }
@@ -250,16 +462,17 @@ pub fn multiply_with_pool<V: Scalar>(
     let report = MultiplyReport {
         sim_time_s: timeline.total_seconds(),
         peak_mem_bytes: mem.peak(),
-        symbolic_used_lb: splan.used_global_lb,
-        numeric_used_lb: nplan.used_global_lb,
-        symbolic_threshold_set: splan.threshold_set,
-        numeric_threshold_set: nplan.threshold_set,
-        symbolic_ratio: splan.decision_ratio,
-        numeric_ratio: nplan.decision_ratio,
-        numeric_methods: nplan.method_counts(),
-        spilled_blocks: sym.spilled_blocks + num.spilled_blocks,
+        symbolic_used_lb: plan.symbolic.used_global_lb,
+        numeric_used_lb: plan.numeric.used_global_lb,
+        symbolic_threshold_set: plan.symbolic.threshold_set,
+        numeric_threshold_set: plan.numeric.threshold_set,
+        symbolic_ratio: plan.symbolic.decision_ratio,
+        numeric_ratio: plan.numeric.decision_ratio,
+        numeric_methods: plan.numeric.method_counts,
+        spilled_blocks: plan.sym_spilled_blocks + num.spilled_blocks,
         radix_elems: num.radix_elems,
-        products: info.total_products,
+        products: plan.info.total_products,
+        reused_plan: reused,
         timeline,
     };
     (num.c, report)
@@ -279,6 +492,21 @@ mod tests {
         let expect = spgemm_seq(a, b);
         assert!(c.approx_eq(&expect, 1e-10, 1e-12), "result mismatch");
         report
+    }
+
+    /// Same pattern, deterministically perturbed values.
+    fn perturb(m: &Csr<f64>, salt: u64) -> Csr<f64> {
+        Csr::from_parts_unchecked(
+            m.rows(),
+            m.cols(),
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.vals()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * (1.0 + ((i as u64 + salt) % 13) as f64 * 1e-3))
+                .collect(),
+        )
     }
 
     #[test]
@@ -367,10 +595,146 @@ mod tests {
     fn deterministic_report() {
         let a = rmat(8, 6, 0.57, 0.19, 0.19, 11);
         let e = SpeckSpgemm::default();
-        let (_, r1) = e.multiply(&a, &a);
-        let (_, r2) = e.multiply(&a, &a);
-        assert_eq!(r1.sim_time_s, r2.sim_time_s);
+        let (c1, r1) = e.multiply(&a, &a);
+        let (c2, r2) = e.multiply(&a, &a);
+        // The second call transparently reuses the cached plan: identical
+        // result and memory, strictly less simulated time (no setup).
+        assert!(!r1.reused_plan);
+        assert!(r2.reused_plan);
+        assert!(c1.approx_eq(&c2, 0.0, 0.0));
         assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
+        assert!(r2.sim_time_s < r1.sim_time_s);
+        // Warm calls are bit-stable among themselves.
+        let (_, r3) = e.multiply(&a, &a);
+        assert_eq!(r2.sim_time_s, r3.sim_time_s);
+        // With the cache disabled every call runs cold and is bit-stable.
+        let e0 = SpeckSpgemm::default().with_plan_cache_capacity(0);
+        let (_, q1) = e0.multiply(&a, &a);
+        let (_, q2) = e0.multiply(&a, &a);
+        assert!(!q1.reused_plan && !q2.reused_plan);
+        assert_eq!(q1.sim_time_s, q2.sim_time_s);
+        assert_eq!(q1.sim_time_s, r1.sim_time_s);
+        assert_eq!(q1.peak_mem_bytes, r1.peak_mem_bytes);
+    }
+
+    #[test]
+    fn reused_call_skips_setup_stages() {
+        let a = uniform_random(800, 800, 2, 8, 19);
+        let e = SpeckSpgemm::default();
+        let (_, cold) = e.multiply(&a, &a);
+        let (_, warm) = e.multiply(&a, &a);
+        assert!(warm.reused_plan);
+        // Warm timeline holds only the executed stages...
+        for (name, st) in warm.timeline.stages() {
+            assert!(
+                name == stage::NUMERIC || name == stage::SORTING,
+                "unexpected stage {name} in a reused call"
+            );
+            // ...and each is bit-identical to its cold counterpart.
+            let cold_s = cold
+                .timeline
+                .stages()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| s.seconds)
+                .unwrap();
+            assert_eq!(st.seconds.to_bits(), cold_s.to_bits());
+        }
+        assert!(warm.sim_time_s < cold.sim_time_s);
+    }
+
+    #[test]
+    fn explicit_plan_execute_roundtrip() {
+        let a = rmat(8, 8, 0.57, 0.19, 0.19, 77);
+        let e = SpeckSpgemm::default().with_plan_cache_capacity(0);
+        let (c_cold, cold) = e.multiply(&a, &a);
+        let plan = e.plan(&a, &a);
+        assert_eq!(plan.nnz_c(), c_cold.nnz());
+        assert!(plan.setup_sim_time_s() > 0.0);
+        let (c1, r1) = e.execute_plan(&plan, &a, &a);
+        assert!(r1.reused_plan);
+        assert!(c1.approx_eq(&c_cold, 0.0, 0.0));
+        assert_eq!(r1.peak_mem_bytes, cold.peak_mem_bytes);
+        // Setup + execution covers the whole cold pipeline.
+        let total = plan.setup_sim_time_s() + r1.sim_time_s;
+        assert!((total - cold.sim_time_s).abs() <= 1e-12 * cold.sim_time_s.abs());
+        // Executions are bit-stable.
+        let (_, r2) = e.execute_plan(&plan, &a, &a);
+        assert_eq!(r1.sim_time_s, r2.sim_time_s);
+    }
+
+    #[test]
+    fn reused_plan_accepts_fresh_values() {
+        let a = uniform_random(400, 400, 2, 6, 23);
+        let e = SpeckSpgemm::default();
+        let _ = e.multiply(&a, &a);
+        let a2 = perturb(&a, 5);
+        let (c, r) = e.multiply(&a2, &a2);
+        assert!(r.reused_plan, "same pattern must hit the cache");
+        let expect = spgemm_seq(&a2, &a2);
+        assert!(c.approx_eq(&expect, 1e-10, 1e-12), "fresh values wrong");
+    }
+
+    #[test]
+    fn multiply_batch_matches_individual_and_reuses() {
+        let ms = [
+            uniform_random(300, 300, 2, 8, 31),
+            rmat(8, 6, 0.57, 0.19, 0.19, 32),
+            banded(500, 3, 1.0, 33),
+        ];
+        let e = SpeckSpgemm::default();
+        let pairs: Vec<(&Csr<f64>, &Csr<f64>)> = ms.iter().map(|m| (m, m)).collect();
+        let outs = e.multiply_batch(&pairs);
+        assert_eq!(outs.len(), ms.len());
+        for ((c, r), m) in outs.iter().zip(&ms) {
+            assert!(!r.reused_plan);
+            let expect = spgemm_seq(m, m);
+            assert!(c.approx_eq(&expect, 1e-10, 1e-12));
+        }
+        // A second batch over the same patterns is fully warm and agrees
+        // bit for bit.
+        let outs2 = e.multiply_batch(&pairs);
+        for ((c2, r2), (c1, _)) in outs2.iter().zip(&outs) {
+            assert!(r2.reused_plan);
+            assert!(c2.approx_eq(c1, 0.0, 0.0));
+        }
+        assert_eq!(e.cached_plans(), ms.len());
+    }
+
+    #[test]
+    fn config_change_invalidates_cached_plans() {
+        let a = uniform_random(200, 200, 2, 6, 41);
+        let e = SpeckSpgemm::default();
+        let _ = e.multiply(&a, &a);
+        // A clone shares the cache: its first call is already warm.
+        let mut clone = e.clone();
+        let (_, r) = clone.multiply(&a, &a);
+        assert!(r.reused_plan);
+        // Mutating the configuration changes the environment digest, so
+        // the stale plan is never reused.
+        clone.config.numeric_max_fill *= 0.5;
+        let (_, r2) = clone.multiply(&a, &a);
+        assert!(
+            !r2.reused_plan,
+            "stale plan must not survive a config change"
+        );
+    }
+
+    #[test]
+    fn lru_capacity_bounds_cached_plans() {
+        let e = SpeckSpgemm::default().with_plan_cache_capacity(2);
+        let ms: Vec<Csr<f64>> = (0..4)
+            .map(|s| uniform_random(60 + s, 60 + s, 2, 4, s as u64))
+            .collect();
+        for m in &ms {
+            let _ = e.multiply(m, m);
+        }
+        assert_eq!(e.cached_plans(), 2);
+        // The most recent pattern is still warm.
+        let (_, r) = e.multiply(&ms[3], &ms[3]);
+        assert!(r.reused_plan);
+        // The oldest was evicted.
+        let (_, r0) = e.multiply(&ms[0], &ms[0]);
+        assert!(!r0.reused_plan);
     }
 
     #[test]
@@ -379,6 +743,16 @@ mod tests {
         let a: Csr<f64> = Csr::identity(3);
         let b: Csr<f64> = Csr::identity(4);
         let _ = SpeckSpgemm::default().multiply(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match the plan")]
+    fn execute_plan_rejects_wrong_shape() {
+        let a = uniform_random(50, 50, 2, 4, 3);
+        let e = SpeckSpgemm::default();
+        let plan = e.plan(&a, &a);
+        let other = uniform_random(60, 60, 2, 4, 3);
+        let _ = e.execute_plan(&plan, &other, &other);
     }
 
     #[test]

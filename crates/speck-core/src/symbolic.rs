@@ -32,8 +32,13 @@ pub struct SymbolicOutput {
 
 /// Groups plan blocks into launches of identical (method, config). The
 /// groups hold indices into `plan.blocks` — the plans (with their row
-/// lists) stay where they are instead of being cloned per launch.
-pub(crate) fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<usize>> {
+/// lists) stay where they are instead of being cloned per launch. The
+/// method key is 0 = hash, 1 = dense, 2 = direct.
+///
+/// Public so callers that drive [`crate::numeric::run_numeric`] directly
+/// (reusable plans, the nsparse-style baseline) can precompute the
+/// launch groups once and reuse them across executions.
+pub fn group_blocks(plan: &PassPlan) -> BTreeMap<(u8, usize), Vec<usize>> {
     let mut groups: BTreeMap<(u8, usize), Vec<usize>> = BTreeMap::new();
     for (i, b) in plan.blocks.iter().enumerate() {
         let m = match b.method {

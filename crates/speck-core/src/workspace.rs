@@ -11,7 +11,9 @@
 //! [`WorkspacePool`] hands workspaces to concurrently running blocks (one
 //! checkout per block, returned on drop), and [`SharedWorkspaces`] keeps
 //! one pool per scalar type so an engine can reuse them across `multiply`
-//! calls.
+//! calls — including the concurrent multiplies of
+//! [`crate::SpeckSpgemm::multiply_batch`], which all draw from the same
+//! registry.
 //!
 //! **Invariant — host-side reuse never changes simulated cost.** Whatever
 //! a kernel charges through [`speck_simt::BlockCtx`] must be identical
@@ -124,12 +126,24 @@ impl<V: Scalar> Drop for WorkspaceGuard<'_, V> {
     }
 }
 
+/// One registered pool plus a monomorphised probe for its idle count, so
+/// the type-erased registry can report totals without knowing `V`.
+struct PoolEntry {
+    pool: Arc<dyn Any + Send + Sync>,
+    idle: fn(&(dyn Any + Send + Sync)) -> usize,
+}
+
+fn idle_of<V: Scalar>(any: &(dyn Any + Send + Sync)) -> usize {
+    any.downcast_ref::<WorkspacePool<V>>()
+        .map_or(0, |p| p.idle_count())
+}
+
 /// Type-erased registry of one [`WorkspacePool`] per scalar type, letting
 /// [`crate::SpeckSpgemm`] (whose `multiply` is generic) keep its pools
 /// alive across calls.
 #[derive(Default)]
 pub struct SharedWorkspaces {
-    pools: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+    pools: Mutex<HashMap<TypeId, PoolEntry>>,
 }
 
 impl SharedWorkspaces {
@@ -141,12 +155,21 @@ impl SharedWorkspaces {
     /// The pool for scalar type `V`, created on first request.
     pub fn pool<V: Scalar>(&self) -> Arc<WorkspacePool<V>> {
         let mut pools = self.pools.lock().unwrap();
-        let entry = pools
-            .entry(TypeId::of::<V>())
-            .or_insert_with(|| Arc::new(WorkspacePool::<V>::new()) as Arc<dyn Any + Send + Sync>);
-        Arc::clone(entry)
+        let entry = pools.entry(TypeId::of::<V>()).or_insert_with(|| PoolEntry {
+            pool: Arc::new(WorkspacePool::<V>::new()) as Arc<dyn Any + Send + Sync>,
+            idle: idle_of::<V>,
+        });
+        Arc::clone(&entry.pool)
             .downcast::<WorkspacePool<V>>()
             .expect("workspace pool type mismatch")
+    }
+
+    /// Total idle workspaces across every scalar type's pool — a coarse
+    /// gauge of peak block concurrency seen so far (batched multiplies
+    /// grow it toward the rayon width times per-call concurrency).
+    pub fn total_idle(&self) -> usize {
+        let pools = self.pools.lock().unwrap();
+        pools.values().map(|e| (e.idle)(e.pool.as_ref())).sum()
     }
 }
 

@@ -9,10 +9,13 @@ use speck_repro::speck::SpeckSpgemm;
 #[test]
 fn speck_times_and_results_are_bit_stable() {
     let a = rmat(9, 8, 0.57, 0.19, 0.19, 31);
-    let engine = SpeckSpgemm::default();
-    let (c1, r1) = engine.multiply(&a, &a);
+    // Cold path: with the plan cache disabled, every call runs the full
+    // pipeline and must be bit-stable.
+    let cold = SpeckSpgemm::default().with_plan_cache_capacity(0);
+    let (c1, r1) = cold.multiply(&a, &a);
     for _ in 0..3 {
-        let (c2, r2) = engine.multiply(&a, &a);
+        let (c2, r2) = cold.multiply(&a, &a);
+        assert!(!r2.reused_plan);
         assert!(c1.approx_eq(&c2, 0.0, 0.0), "results must be identical");
         assert_eq!(
             r1.sim_time_s, r2.sim_time_s,
@@ -20,6 +23,24 @@ fn speck_times_and_results_are_bit_stable() {
         );
         assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
         assert_eq!(r1.numeric_methods, r2.numeric_methods);
+    }
+    // Warm path: a caching engine reuses the plan after the first call —
+    // identical results and memory, stable (and lower) simulated time.
+    let engine = SpeckSpgemm::default();
+    let (d1, w1) = engine.multiply(&a, &a);
+    assert!(!w1.reused_plan);
+    assert_eq!(w1.sim_time_s, r1.sim_time_s, "cold call matches cold path");
+    let (d2, w2) = engine.multiply(&a, &a);
+    assert!(w2.reused_plan);
+    assert!(d1.approx_eq(&d2, 0.0, 0.0));
+    assert_eq!(w1.peak_mem_bytes, w2.peak_mem_bytes);
+    assert!(w2.sim_time_s < w1.sim_time_s);
+    for _ in 0..3 {
+        let (d3, w3) = engine.multiply(&a, &a);
+        assert!(w3.reused_plan);
+        assert!(d2.approx_eq(&d3, 0.0, 0.0));
+        assert_eq!(w2.sim_time_s, w3.sim_time_s, "warm calls are bit-stable");
+        assert_eq!(w2.peak_mem_bytes, w3.peak_mem_bytes);
     }
 }
 
@@ -57,18 +78,30 @@ fn generators_are_reproducible_across_calls() {
 #[test]
 fn timeline_is_stable_across_runs() {
     let a = uniform_random(600, 600, 3, 7, 34);
+    let stages = |r: &speck_repro::speck::MultiplyReport| -> Vec<(String, f64)> {
+        r.timeline
+            .stages()
+            .map(|(n, s)| (n.to_string(), s.seconds))
+            .collect()
+    };
+    // Cold timelines are identical run to run.
+    let cold = SpeckSpgemm::default().with_plan_cache_capacity(0);
+    let (_, r1) = cold.multiply(&a, &a);
+    let (_, r2) = cold.multiply(&a, &a);
+    assert_eq!(stages(&r1), stages(&r2));
+    // Warm timelines are identical run to run too — and are a strict
+    // subset of the cold stages (numeric + sorting only).
     let engine = SpeckSpgemm::default();
-    let (_, r1) = engine.multiply(&a, &a);
-    let (_, r2) = engine.multiply(&a, &a);
-    let s1: Vec<(String, f64)> = r1
-        .timeline
-        .stages()
-        .map(|(n, s)| (n.to_string(), s.seconds))
-        .collect();
-    let s2: Vec<(String, f64)> = r2
-        .timeline
-        .stages()
-        .map(|(n, s)| (n.to_string(), s.seconds))
-        .collect();
-    assert_eq!(s1, s2);
+    let _ = engine.multiply(&a, &a);
+    let (_, w1) = engine.multiply(&a, &a);
+    let (_, w2) = engine.multiply(&a, &a);
+    assert!(w1.reused_plan && w2.reused_plan);
+    assert_eq!(stages(&w1), stages(&w2));
+    let cold_stages = stages(&r1);
+    for (name, secs) in stages(&w1) {
+        assert!(
+            cold_stages.contains(&(name.clone(), secs)),
+            "warm stage {name} must match its cold counterpart bit for bit"
+        );
+    }
 }

@@ -1,6 +1,11 @@
 //! Workspace reuse must be invisible: an engine that has already pooled
 //! buffers from earlier multiplications must return the same bytes and
 //! charge the same simulated cost as a freshly built engine.
+//!
+//! Plan *reuse* is deliberately visible (it skips setup kernels), so the
+//! neutrality checks here run with the plan cache disabled; the shared
+//! plan cache gets its own assertion at the bottom and a full suite in
+//! `tests/plan_reuse.rs`.
 
 use proptest::prelude::*;
 use speck_repro::sparse::{Coo, Csr};
@@ -32,13 +37,13 @@ proptest! {
         a in arb_csr(24, 20, 160),
         b in arb_csr(20, 28, 160),
     ) {
-        let reused = SpeckSpgemm::default();
+        let reused = SpeckSpgemm::default().with_plan_cache_capacity(0);
         // Prime the pools so the second call runs entirely on recycled
         // buffers.
         let _ = reused.multiply(&a, &b);
         let (c_r, r_r) = reused.multiply(&a, &b);
 
-        let fresh = SpeckSpgemm::default();
+        let fresh = SpeckSpgemm::default().with_plan_cache_capacity(0);
         let (c_f, r_f) = fresh.multiply(&a, &b);
 
         prop_assert_eq!(c_r.row_ptr(), c_f.row_ptr());
@@ -56,7 +61,7 @@ proptest! {
 fn pools_survive_scalar_type_changes() {
     // One engine alternating f64 and f32 work keeps one pool per type;
     // neither interferes with the other's results or simulated cost.
-    let engine = SpeckSpgemm::default();
+    let engine = SpeckSpgemm::default().with_plan_cache_capacity(0);
     let a64 = speck_repro::sparse::gen::uniform_random(200, 200, 2, 8, 17);
     let a32: Csr<f32> = Csr::from_parts_unchecked(
         a64.rows(),
@@ -77,16 +82,27 @@ fn pools_survive_scalar_type_changes() {
         assert_eq!(r64.peak_mem_bytes, r64_first.peak_mem_bytes);
         assert_eq!(r32.peak_mem_bytes, r32_first.peak_mem_bytes);
     }
+    assert!(
+        engine.workspaces().total_idle() >= 2,
+        "both pools populated"
+    );
 }
 
 #[test]
-fn cloned_engines_share_pools_and_agree() {
+fn cloned_engines_share_pools_and_plans() {
     let engine = SpeckSpgemm::default();
     let clone = engine.clone();
     let a = speck_repro::sparse::gen::rmat(8, 6, 0.57, 0.19, 0.19, 23);
     let (c1, r1) = engine.multiply(&a, &a);
+    // The clone shares the plan cache: its first call on the same pattern
+    // is already warm, with identical bytes and memory but less simulated
+    // time (no setup stages).
     let (c2, r2) = clone.multiply(&a, &a);
+    assert!(!r1.reused_plan);
+    assert!(r2.reused_plan);
     assert!(c1.approx_eq(&c2, 0.0, 0.0));
-    assert_eq!(r1.sim_time_s, r2.sim_time_s);
     assert_eq!(r1.peak_mem_bytes, r2.peak_mem_bytes);
+    assert!(r2.sim_time_s < r1.sim_time_s);
+    let (hits, misses) = engine.plan_cache_stats();
+    assert_eq!((hits, misses), (1, 1));
 }
