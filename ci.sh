@@ -1,47 +1,90 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the tier-1 test suite.
 #
-#   ./ci.sh           # fmt + clippy + tests
-#   ./ci.sh --bench   # ... plus the wall-clock throughput benchmark
-#   ./ci.sh --smoke   # ... plus a simulation-neutrality check: fails if
-#                     #     the cold-path sim digest moved
+#   ./ci.sh             # fmt + clippy + tests
+#   ./ci.sh --bench     # ... plus the wall-clock throughput benchmark
+#                       #     (rewrites BENCH_throughput.json)
+#   ./ci.sh --smoke     # ... plus a simulation-neutrality check: fails if
+#                       #     the cold-path sim digest moved
+#   ./ci.sh --metrics   # ... plus a metrics gate: fails if the emitted
+#                       #     MetricsSnapshot drifts from BENCH_metrics.json
+#                       #     (sim counters exact, wall gauges within the
+#                       #     baseline's declared tolerance)
+#
+# The flags compose into ONE bench_throughput invocation (a full run takes
+# minutes), so `--smoke --metrics` checks both gates against the same run.
+# The metrics table is always written to target/ci/metrics_table.txt for
+# CI job summaries.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 # Cold-path simulation digest pinned by the last simulation-affecting
-# change. Host-side work (pooling, plan caching, batching) must keep it;
-# intentional simulator/algorithm changes update it alongside
-# BENCH_throughput.json.
+# change. Host-side work (pooling, plan caching, batching, metrics
+# collection) must keep it; intentional simulator/algorithm changes update
+# it alongside BENCH_throughput.json and BENCH_metrics.json.
 EXPECTED_SIM_DIGEST=6d086aa6157bb570
+BENCH_ROUNDS=3
 
 run_bench=0
 run_smoke=0
+run_metrics=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --smoke) run_smoke=1 ;;
+        --metrics) run_metrics=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
 
+# Toolchain versions first: when a CI run fails, the log alone must answer
+# "which compiler was this?".
+echo "==> toolchain"
+rustc -V
+cargo -V
+
 echo "==> cargo fmt --check"
+if ! cargo fmt --version >/dev/null 2>&1; then
+    echo "ERROR: 'cargo fmt' is unavailable — install the rustfmt component" >&2
+    echo "       (rustup component add rustfmt)" >&2
+    exit 3
+fi
 cargo fmt --all --check
 
 echo "==> cargo clippy (deny warnings)"
+if ! cargo clippy --version >/dev/null 2>&1; then
+    echo "ERROR: 'cargo clippy' is unavailable — install the clippy component" >&2
+    echo "       (rustup component add clippy)" >&2
+    exit 3
+fi
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test (workspace, release)"
 cargo test --workspace --release
 
-if [ "$run_bench" -eq 1 ]; then
-    echo "==> throughput benchmark"
-    cargo run --release -p speck-bench --bin bench_throughput -- 3 BENCH_throughput.json
-fi
-
-if [ "$run_smoke" -eq 1 ]; then
-    echo "==> simulation-neutrality smoke (expect digest $EXPECTED_SIM_DIGEST)"
-    cargo run --release -p speck-bench --bin bench_throughput -- \
-        3 /tmp/BENCH_smoke.json --expect-digest "$EXPECTED_SIM_DIGEST"
+if [ "$run_bench" -eq 1 ] || [ "$run_smoke" -eq 1 ] || [ "$run_metrics" -eq 1 ]; then
+    # One bench run serves every enabled gate.
+    if [ "$run_bench" -eq 1 ]; then
+        out=BENCH_throughput.json
+    else
+        out=/tmp/BENCH_ci.json
+    fi
+    mkdir -p target/ci
+    bench_args=("$BENCH_ROUNDS" "$out"
+        --metrics-table target/ci/metrics_table.txt)
+    desc="throughput benchmark -> $out"
+    if [ "$run_smoke" -eq 1 ]; then
+        bench_args+=(--expect-digest "$EXPECTED_SIM_DIGEST")
+        desc="$desc + sim digest $EXPECTED_SIM_DIGEST"
+    fi
+    if [ "$run_metrics" -eq 1 ]; then
+        bench_args+=(--metrics-out /tmp/BENCH_metrics_new.json
+            --check-metrics BENCH_metrics.json)
+        desc="$desc + metrics vs BENCH_metrics.json"
+    fi
+    echo "==> $desc"
+    cargo run --release -p speck-bench --bin bench_throughput -- "${bench_args[@]}"
+    echo "metrics table: target/ci/metrics_table.txt"
 fi
 
 echo "CI OK"

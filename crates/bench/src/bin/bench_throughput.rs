@@ -20,11 +20,25 @@
 //! with this one; when given, the report includes the speedup against it.
 //! `--expect-digest HEX` makes the run exit non-zero when the cold-path
 //! sim digest differs from `HEX` (CI smoke mode).
+//!
+//! Metrics options (all engines share one `MetricsRegistry`):
+//! * `--metrics-out PATH` — write the full `MetricsSnapshot` JSON
+//!   (counters + histograms + wall gauges) to `PATH`.
+//! * `--metrics-table PATH` — write the human-readable metrics table to
+//!   `PATH` (e.g. for a CI job summary).
+//! * `--check-metrics BASELINE` — diff the snapshot against a committed
+//!   baseline (`BENCH_metrics.json`): sim counters and histograms must
+//!   match exactly, `wall/` gauges within the baseline's declared
+//!   tolerance. Non-zero exit on drift.
+//! * `--wall-tolerance F` — relative tolerance declared in the emitted
+//!   snapshot for its `wall/` gauges (default 0.35).
 
 use speck_bench::corpus::{common_corpus, smoke_corpus};
+use speck_core::metrics::{compare_snapshots, MetricsRegistry, MetricsSnapshot};
 use speck_core::SpeckSpgemm;
 use speck_sparse::Csr;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// FNV-1a over a byte stream: order-sensitive, bit-exact.
@@ -79,12 +93,27 @@ fn perturb(m: &Csr<f64>, salt: u64) -> Csr<f64> {
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut expect_digest: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_table: Option<String> = None;
+    let mut check_metrics: Option<String> = None;
+    let mut wall_tolerance = 0.35f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--expect-digest" {
             let hex = args.next().expect("--expect-digest needs a hex value");
             expect_digest =
                 Some(u64::from_str_radix(&hex, 16).expect("--expect-digest: bad hex value"));
+        } else if arg == "--metrics-out" {
+            metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+        } else if arg == "--metrics-table" {
+            metrics_table = Some(args.next().expect("--metrics-table needs a path"));
+        } else if arg == "--check-metrics" {
+            check_metrics = Some(args.next().expect("--check-metrics needs a baseline path"));
+        } else if arg == "--wall-tolerance" {
+            wall_tolerance = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--wall-tolerance needs a number");
         } else {
             positional.push(arg);
         }
@@ -111,9 +140,16 @@ fn main() {
         .collect();
     let build_s = t_build.elapsed().as_secs_f64();
 
+    // One registry observes the whole bench: the digest engine's cold
+    // rounds and the caching engine's reuse/batch rounds all record into
+    // it, so the emitted snapshot covers every pipeline path.
+    let registry = Arc::new(MetricsRegistry::new());
+
     // Digest rounds: cache disabled, so every multiply is the full cold
     // pipeline and the digest stays comparable across plan-cache changes.
-    let engine = SpeckSpgemm::default().with_plan_cache_capacity(0);
+    let engine = SpeckSpgemm::default()
+        .with_plan_cache_capacity(0)
+        .with_metrics(Arc::clone(&registry));
     let mut digest = Digest::new();
     let mut total_nnz_c = 0u64;
 
@@ -148,7 +184,7 @@ fn main() {
     // warm simulated time — the reused calls launch no setup kernels.
     // (Priming calls aren't asserted cold: the corpus itself repeats some
     // patterns, which is exactly what the cache is for.)
-    let caching = SpeckSpgemm::default();
+    let caching = SpeckSpgemm::default().with_metrics(Arc::clone(&registry));
     let mut warm_sim = 0.0f64;
     for (_, a, b) in &pairs {
         let _ = caching.multiply(a, b);
@@ -222,6 +258,41 @@ fn main() {
         digest.0
     );
 
+    // Metrics snapshot: taken from the caching engine so the plan-cache
+    // counters reflect the reuse rounds; sim counters cover both engines
+    // through the shared registry.
+    let mut snap = caching.metrics_snapshot();
+    snap.wall_tolerance = Some(wall_tolerance);
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, snap.full_json()).expect("write metrics snapshot");
+        println!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = &metrics_table {
+        std::fs::write(path, snap.render_table()).expect("write metrics table");
+    }
+
+    let mut failed = false;
+    if let Some(path) = &check_metrics {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check-metrics: cannot read {path}: {e}"));
+        let baseline = MetricsSnapshot::parse_json(&text)
+            .unwrap_or_else(|e| panic!("--check-metrics: {path}: {e}"));
+        let drift = compare_snapshots(&snap, &baseline, 0.10);
+        if drift.is_empty() {
+            println!(
+                "metrics gate: snapshot matches {path} ({} counters, {} histograms exact)",
+                baseline.counters.len(),
+                baseline.histograms.len()
+            );
+        } else {
+            eprintln!("FAIL: metrics snapshot drifted from {path}:");
+            for d in &drift {
+                eprintln!("  - {d}");
+            }
+            failed = true;
+        }
+    }
+
     if let Some(expect) = expect_digest {
         if digest.0 != expect {
             eprintln!(
@@ -229,8 +300,12 @@ fn main() {
                  a host-side change moved simulated results",
                 digest.0
             );
-            std::process::exit(1);
+            failed = true;
+        } else {
+            println!("cold-path sim digest matches expected {expect:016x}");
         }
-        println!("cold-path sim digest matches expected {expect:016x}");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

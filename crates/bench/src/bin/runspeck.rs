@@ -14,6 +14,8 @@
 //!                         baseline (the artifact's CompareResult option)
 //!   --no-cache            skip reading/writing the binary cache
 //!   --synthetic FAMILY N  run on a generated matrix instead of a file
+//!   --metrics             print the engine's metrics table after the run
+//!                         (per-stage sim counters, spans, cache stats)
 //! ```
 
 use speck_baselines::{cusparse_like::CusparseLike, SpgemmMethod};
@@ -34,6 +36,7 @@ struct Options {
     individual: bool,
     compare: bool,
     cache: bool,
+    metrics: bool,
 }
 
 fn parse_args() -> Options {
@@ -45,6 +48,7 @@ fn parse_args() -> Options {
         individual: false,
         compare: false,
         cache: true,
+        metrics: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,6 +58,7 @@ fn parse_args() -> Options {
             "--individual-times" => o.individual = true,
             "--compare" => o.compare = true,
             "--no-cache" => o.cache = false,
+            "--metrics" => o.metrics = true,
             "--synthetic" => {
                 let fam = args.next().unwrap_or_else(|| "mesh3d".into());
                 let n = args.next().and_then(|v| v.parse().ok()).unwrap_or(2);
@@ -162,6 +167,11 @@ fn main() {
         100.0 * report.timeline.share(stage::SORTING),
         report.peak_mem_bytes as f64 / (1 << 20) as f64
     );
+
+    if o.metrics {
+        println!("\nmetrics after {} executions:", o.iterations.max(1));
+        print!("{}", engine.metrics_snapshot().render_table());
+    }
 
     if o.compare {
         // The artifact's CompareResult: check column structure against the

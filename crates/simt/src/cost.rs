@@ -34,7 +34,40 @@ pub struct BlockCost {
     pub spilled_elems: u64,
 }
 
+/// Stable names of the [`BlockCost`] counters, in field order — the
+/// schema of every per-launch/per-stage counter export (metrics
+/// registries, snapshots, regression baselines).
+pub const COST_COUNTER_NAMES: [&str; 10] = [
+    "issue_rounds",
+    "gmem_tx",
+    "gmem_scatter",
+    "gmem_atomics",
+    "smem_ops",
+    "smem_atomics",
+    "hash_probes",
+    "sort_steps",
+    "syncs",
+    "spilled_elems",
+];
+
 impl BlockCost {
+    /// The counters as `(name, value)` pairs in [`COST_COUNTER_NAMES`]
+    /// order, for structured export without field-by-field plumbing.
+    pub fn counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("issue_rounds", self.issue_rounds),
+            ("gmem_tx", self.gmem_tx),
+            ("gmem_scatter", self.gmem_scatter),
+            ("gmem_atomics", self.gmem_atomics),
+            ("smem_ops", self.smem_ops),
+            ("smem_atomics", self.smem_atomics),
+            ("hash_probes", self.hash_probes),
+            ("sort_steps", self.sort_steps),
+            ("syncs", self.syncs),
+            ("spilled_elems", self.spilled_elems),
+        ]
+    }
+
     /// Element-wise sum of two cost records.
     pub fn merge(&self, o: &BlockCost) -> BlockCost {
         BlockCost {

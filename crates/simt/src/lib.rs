@@ -37,7 +37,7 @@ pub mod scratchpad;
 pub mod timeline;
 
 pub use block::{simulate_group_rounds, BlockCtx};
-pub use cost::{BlockCost, CostModel};
+pub use cost::{BlockCost, CostModel, COST_COUNTER_NAMES};
 pub use device::DeviceConfig;
 pub use exec::{launch, launch_map, KernelReport};
 pub use kernel::KernelConfig;

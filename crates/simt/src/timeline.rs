@@ -2,6 +2,7 @@
 //! (analysis / symbolic load / symbolic SpGEMM / numeric load / numeric
 //! SpGEMM / sorting).
 
+use crate::cost::BlockCost;
 use crate::exec::KernelReport;
 use std::collections::BTreeMap;
 
@@ -12,6 +13,9 @@ pub struct StageTime {
     pub seconds: f64,
     /// Number of kernel launches in the stage.
     pub launches: usize,
+    /// Event counters of the stage's launches, merged — the cost-model
+    /// side of the Fig. 11 breakdown (fixed costs contribute nothing).
+    pub cost: BlockCost,
 }
 
 /// Ordered collection of pipeline stages with simulated durations.
@@ -43,6 +47,7 @@ impl Timeline {
         let s = self.stage_mut(stage);
         s.seconds += report.sim_time_s;
         s.launches += 1;
+        s.cost = s.cost.merge(&report.total_cost);
     }
 
     /// Attributes a fixed duration (e.g. a device allocation) to a stage.
@@ -77,7 +82,15 @@ impl Timeline {
             let s = self.stage_mut(name);
             s.seconds += st.seconds;
             s.launches += st.launches;
+            s.cost = s.cost.merge(&st.cost);
         }
+    }
+
+    /// Event counters merged across every stage.
+    pub fn total_cost(&self) -> BlockCost {
+        self.stages
+            .values()
+            .fold(BlockCost::default(), |acc, s| acc.merge(&s.cost))
     }
 }
 
@@ -108,6 +121,35 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         assert!(t.share("numeric") > t.share("analysis"));
         assert_eq!(t.stages.get("numeric").unwrap().launches, 2);
+    }
+
+    #[test]
+    fn stage_cost_counters_accumulate() {
+        let d = DeviceConfig::tiny();
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "k",
+            3,
+            KernelConfig::new(32, 0),
+            |ctx| {
+                ctx.charge_rounds(5);
+                ctx.charge_smem(2);
+            },
+        );
+        let mut t = Timeline::new();
+        t.add_kernel("numeric", &r);
+        t.add_kernel("numeric", &r);
+        t.add_fixed("numeric", 1e-3); // fixed costs carry no counters
+        let (_, st) = t.stages().next().unwrap();
+        assert_eq!(st.cost.issue_rounds, 2 * r.total_cost.issue_rounds);
+        assert_eq!(st.cost.smem_ops, 2 * r.total_cost.smem_ops);
+        assert_eq!(t.total_cost(), st.cost);
+        // Merging another timeline merges the counters too.
+        let mut t2 = Timeline::new();
+        t2.add_kernel("numeric", &r);
+        t2.merge(&t);
+        assert_eq!(t2.total_cost().issue_rounds, 3 * r.total_cost.issue_rounds);
     }
 
     #[test]

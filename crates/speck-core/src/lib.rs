@@ -65,6 +65,7 @@ pub mod denseacc;
 pub mod global_lb;
 pub mod hashacc;
 pub mod local_lb;
+pub mod metrics;
 pub mod numeric;
 pub mod partial;
 pub mod pipeline;
@@ -77,6 +78,9 @@ pub mod workspace;
 pub use analysis::{analyze, AnalysisInfo, RowInfo};
 pub use cascade::KernelCascade;
 pub use config::{GlobalLbMode, GlobalLbThresholds, LocalLbMode, SpeckConfig};
+pub use metrics::{
+    compare_snapshots, HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot, Span,
+};
 pub use partial::{multiply_multi_gpu, multiply_partitioned};
 pub use pipeline::{
     execute_plan_with_pool, multiply, multiply_with_pool, plan_with_pool, MultiplyReport,

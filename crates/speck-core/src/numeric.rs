@@ -17,6 +17,7 @@ use crate::config::SpeckConfig;
 use crate::global_lb::PassPlan;
 use crate::hashacc::{compound_key, split_key};
 use crate::local_lb::select_group_size;
+use crate::metrics::MetricsSink;
 use crate::sort::{
     radix_sort_pass, scratch_sort_steps, MAX_SCRATCH_SORT_CFG, MAX_SCRATCH_SORT_ENTRIES,
 };
@@ -44,6 +45,16 @@ pub struct NumericOutput<V> {
     pub radix_elems: usize,
     /// Blocks that fell back to a global hash map.
     pub spilled_blocks: usize,
+}
+
+impl<V> NumericOutput<V> {
+    /// Records the pass's deterministic outputs under `sim/numeric/`:
+    /// spilled-block count and elements routed through the global radix
+    /// sort.
+    pub(crate) fn record_metrics(&self, m: &MetricsSink<'_>) {
+        m.add("sim/numeric/spilled_blocks", self.spilled_blocks as u64);
+        m.add("sim/numeric/radix_elems", self.radix_elems as u64);
+    }
 }
 
 /// Numeric hash kernel for one block of up to 32 rows.

@@ -19,6 +19,7 @@ use crate::analysis::analyze;
 use crate::cascade::KernelCascade;
 use crate::config::SpeckConfig;
 use crate::global_lb::{plan_numeric, plan_symbolic, ThresholdSet};
+use crate::metrics::{MetricsRegistry, MetricsSink, MetricsSnapshot};
 use crate::numeric::{row_ptr_from_nnz, run_numeric, NumericJob};
 use crate::plan::{fnv1a_bytes, PatternKey, PlanCache, SpgemmPlan};
 use crate::symbolic::{group_blocks, run_symbolic};
@@ -116,6 +117,7 @@ pub struct SpeckSpgemm {
     pub config: SpeckConfig,
     workspaces: Arc<SharedWorkspaces>,
     plans: Arc<Mutex<PlanCache>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for SpeckSpgemm {
@@ -126,6 +128,7 @@ impl Default for SpeckSpgemm {
             config: SpeckConfig::default(),
             workspaces: Arc::new(SharedWorkspaces::new()),
             plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 }
@@ -145,6 +148,47 @@ impl SpeckSpgemm {
     pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
         self.plans = Arc::new(Mutex::new(PlanCache::new(capacity)));
         self
+    }
+
+    /// Shares a metrics registry: every multiply through this engine (and
+    /// its clones) records stage counters, kernel launches, and span
+    /// timings into `registry`. Engines already share their registry with
+    /// clones; this builder additionally lets several engines feed one
+    /// registry (e.g. a digest engine and a caching engine in one bench).
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = registry;
+        self
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of the engine's metrics, augmented with the
+    /// plan-cache counters (`plan_cache/hits|misses|evictions` — counted
+    /// inside the cache, injected here) and workspace-pool occupancy
+    /// gauges (`pool/*` — volatile, never baseline-gated).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let cache = self.plans.lock().unwrap();
+        let (hits, misses) = cache.stats();
+        snap.counters.insert("plan_cache/hits".into(), hits);
+        snap.counters.insert("plan_cache/misses".into(), misses);
+        snap.counters
+            .insert("plan_cache/evictions".into(), cache.evictions());
+        snap.gauges
+            .insert("pool/plan_cache_len".into(), cache.len() as f64);
+        drop(cache);
+        snap.gauges.insert(
+            "pool/workspace_idle".into(),
+            self.workspaces.total_idle() as f64,
+        );
+        snap.gauges.insert(
+            "pool/workspace_peak_in_use".into(),
+            self.workspaces.total_peak_in_use() as f64,
+        );
+        snap
     }
 
     /// The engine's workspace registry (one buffer pool per scalar type).
@@ -182,9 +226,22 @@ impl SpeckSpgemm {
     /// are skipped and the report's `reused_plan` is true; otherwise the
     /// full pipeline runs and the new plan is cached.
     pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
+        let m = MetricsSink::new(&self.metrics);
+        m.add("engine/multiply_calls", 1);
         let pool = self.workspaces.pool::<V>();
         if self.plans.lock().unwrap().capacity() == 0 {
-            return multiply_with_pool(&self.device, &self.cost, &self.config, a, b, &pool);
+            let plan = plan_inner(&self.device, &self.cost, &self.config, a, b, &pool, m);
+            return execute_inner(
+                &self.device,
+                &self.cost,
+                &self.config,
+                &plan,
+                a,
+                b,
+                &pool,
+                false,
+                m,
+            );
         }
         let key = PatternKey::new(a, b, self.env_digest());
         if let Some(hit) = self.plans.lock().unwrap().get(&key) {
@@ -198,16 +255,18 @@ impl SpeckSpgemm {
                     b,
                     &pool,
                     true,
+                    m,
                 );
             }
         }
-        let plan = Arc::new(plan_with_pool(
+        let plan = Arc::new(plan_inner(
             &self.device,
             &self.cost,
             &self.config,
             a,
             b,
             &pool,
+            m,
         ));
         let out = execute_inner(
             &self.device,
@@ -218,6 +277,7 @@ impl SpeckSpgemm {
             b,
             &pool,
             false,
+            m,
         );
         self.plans.lock().unwrap().insert(key, plan);
         out
@@ -229,7 +289,15 @@ impl SpeckSpgemm {
     /// across many multiplications of the same pattern.
     pub fn plan<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> SpgemmPlan<V> {
         let pool = self.workspaces.pool::<V>();
-        plan_with_pool(&self.device, &self.cost, &self.config, a, b, &pool)
+        plan_inner(
+            &self.device,
+            &self.cost,
+            &self.config,
+            a,
+            b,
+            &pool,
+            MetricsSink::new(&self.metrics),
+        )
     }
 
     /// Executes a plan against operands with the *same sparsity pattern*
@@ -245,7 +313,17 @@ impl SpeckSpgemm {
         b: &Csr<V>,
     ) -> (Csr<V>, MultiplyReport) {
         let pool = self.workspaces.pool::<V>();
-        execute_plan_with_pool(&self.device, &self.cost, &self.config, plan, a, b, &pool)
+        execute_inner(
+            &self.device,
+            &self.cost,
+            &self.config,
+            plan,
+            a,
+            b,
+            &pool,
+            true,
+            MetricsSink::new(&self.metrics),
+        )
     }
 
     /// Multiplies every `(A, B)` pair, running independent multiplies
@@ -290,7 +368,17 @@ pub fn multiply_with_pool<V: Scalar>(
     pool: &WorkspacePool<V>,
 ) -> (Csr<V>, MultiplyReport) {
     let plan = plan_with_pool(dev, cost, cfg, a, b, pool);
-    execute_inner(dev, cost, cfg, &plan, a, b, pool, false)
+    execute_inner(
+        dev,
+        cost,
+        cfg,
+        &plan,
+        a,
+        b,
+        pool,
+        false,
+        MetricsSink::none(),
+    )
 }
 
 /// Runs the setup stages (analysis + symbolic load balancing + symbolic
@@ -306,51 +394,87 @@ pub fn plan_with_pool<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
 ) -> SpgemmPlan<V> {
+    plan_inner(dev, cost, cfg, a, b, pool, MetricsSink::none())
+}
+
+/// [`plan_with_pool`] with a metrics sink attached: every kernel launch,
+/// load-balancing decision, and stage span is recorded. Recording reads
+/// finished [`speck_simt::KernelReport`]s only, so simulated results are
+/// bit-identical with or without a registry.
+fn plan_inner<V: Scalar>(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    cfg: &SpeckConfig,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pool: &WorkspacePool<V>,
+    m: MetricsSink<'_>,
+) -> SpgemmPlan<V> {
     assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
+    let span = m.span("plan");
     let cascade = KernelCascade::for_device(dev);
     let mut timeline = Timeline::new();
     let mut setup_mem_bytes = 0usize;
     let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
 
     // Stage 1: row analysis.
-    let (info, analysis_report) = analyze(dev, cost, a, b);
+    let (info, analysis_report) = {
+        let _s = span.child("analysis");
+        analyze(dev, cost, a, b)
+    };
     timeline.add_kernel(stage::ANALYSIS, &analysis_report);
+    m.record_kernel(stage::ANALYSIS, &analysis_report);
     setup_mem_bytes += info.rows.len() * std::mem::size_of::<crate::analysis::RowInfo>();
     timeline.add_fixed(stage::ANALYSIS, alloc_s(1));
 
     // Stage 2: symbolic load balancing.
-    let splan = plan_symbolic(dev, cost, &cascade, cfg, &info, b.cols());
+    let splan = {
+        let _s = span.child("symbolic_lb");
+        plan_symbolic(dev, cost, &cascade, cfg, &info, b.cols())
+    };
     for r in &splan.lb_reports {
         timeline.add_kernel(stage::SYMBOLIC_LOAD, r);
+        m.record_kernel(stage::SYMBOLIC_LOAD, r);
     }
+    splan.record_metrics(&m, "symbolic");
     if splan.lb_alloc_bytes > 0 {
         setup_mem_bytes += splan.lb_alloc_bytes;
         timeline.add_fixed(stage::SYMBOLIC_LOAD, alloc_s(1));
     }
 
     // Stage 3: symbolic SpGEMM.
-    let sym = run_symbolic(dev, cost, &cascade, cfg, a, b, &info, &splan, pool);
+    let sym = {
+        let _s = span.child("symbolic");
+        run_symbolic(dev, cost, &cascade, cfg, a, b, &info, &splan, pool)
+    };
     for r in &sym.reports {
         timeline.add_kernel(stage::SYMBOLIC, r);
+        m.record_kernel(stage::SYMBOLIC, r);
     }
+    sym.record_metrics(&m);
     // Row-count array + prefix sum for C's offsets.
     setup_mem_bytes += (a.rows() + 1) * 8;
     timeline.add_fixed(stage::SYMBOLIC, alloc_s(1));
 
     // Stage 4: numeric load balancing on exact sizes.
-    let nplan = plan_numeric(
-        dev,
-        cost,
-        &cascade,
-        cfg,
-        &info,
-        &sym.row_nnz,
-        b.cols(),
-        std::mem::size_of::<V>(),
-    );
+    let nplan = {
+        let _s = span.child("numeric_lb");
+        plan_numeric(
+            dev,
+            cost,
+            &cascade,
+            cfg,
+            &info,
+            &sym.row_nnz,
+            b.cols(),
+            std::mem::size_of::<V>(),
+        )
+    };
     for r in &nplan.lb_reports {
         timeline.add_kernel(stage::NUMERIC_LOAD, r);
+        m.record_kernel(stage::NUMERIC_LOAD, r);
     }
+    nplan.record_metrics(&m, "numeric");
     if nplan.lb_alloc_bytes > 0 {
         setup_mem_bytes += nplan.lb_alloc_bytes;
         timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
@@ -404,7 +528,7 @@ pub fn execute_plan_with_pool<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
 ) -> (Csr<V>, MultiplyReport) {
-    execute_inner(dev, cost, cfg, plan, a, b, pool, true)
+    execute_inner(dev, cost, cfg, plan, a, b, pool, true, MetricsSink::none())
 }
 
 /// The execution half of the pipeline. Cold calls (`reused == false`)
@@ -424,8 +548,13 @@ fn execute_inner<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
     reused: bool,
+    m: MetricsSink<'_>,
 ) -> (Csr<V>, MultiplyReport) {
     plan.check_shape(a, b);
+    let span = m.span("execute");
+    if reused {
+        m.add("engine/plan_reuses", 1);
+    }
     let cascade = KernelCascade::for_device(dev);
     let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
     let mut timeline = if reused {
@@ -446,14 +575,21 @@ fn execute_inner<V: Scalar>(
         row_nnz: &plan.row_nnz,
         row_ptr: &plan.row_ptr,
     };
-    let num = run_numeric(dev, cost, &cascade, cfg, a, b, &plan.info, &job, pool);
+    let num = {
+        let _s = span.child("numeric");
+        run_numeric(dev, cost, &cascade, cfg, a, b, &plan.info, &job, pool)
+    };
     for r in &num.reports {
         timeline.add_kernel(stage::NUMERIC, r);
+        m.record_kernel(stage::NUMERIC, r);
     }
+    num.record_metrics(&m);
 
     // Stage 6: sorting.
     if let Some(r) = &num.sort_report {
+        let _s = span.child("sorting");
         timeline.add_kernel(stage::SORTING, r);
+        m.record_kernel(stage::SORTING, r);
         // Radix double-buffer.
         mem.alloc(num.radix_elems * (4 + std::mem::size_of::<V>()));
         timeline.add_fixed(stage::SORTING, alloc_s(1));

@@ -255,6 +255,7 @@ pub struct PlanCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     entries: HashMap<PatternKey, CacheSlot>,
 }
 
@@ -266,6 +267,7 @@ impl PlanCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
             entries: HashMap::new(),
         }
     }
@@ -288,6 +290,12 @@ impl PlanCache {
     /// `(hits, misses)` counters over the cache's lifetime.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of plans evicted by the LRU policy over the cache's
+    /// lifetime (replacements and `clear` do not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
@@ -322,6 +330,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
             {
                 self.entries.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.entries.insert(
@@ -346,6 +355,7 @@ impl std::fmt::Debug for PlanCache {
             .field("len", &self.entries.len())
             .field("hits", &self.hits)
             .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
             .finish()
     }
 }
@@ -430,6 +440,7 @@ mod tests {
         assert!(cache.get(&k1).is_some());
         cache.insert(k3, plan_token(3));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&k2).is_none(), "LRU entry must be evicted");
         assert!(cache.get(&k1).is_some());
         assert!(cache.get(&k3).is_some());

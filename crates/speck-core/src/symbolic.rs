@@ -11,6 +11,7 @@ use crate::config::SpeckConfig;
 use crate::global_lb::{AccMethod, PassPlan};
 use crate::hashacc::compound_key;
 use crate::local_lb::select_group_size;
+use crate::metrics::{LocalHistogram, MetricsSink};
 use crate::workspace::{Workspace, WorkspacePool};
 use speck_simt::{
     launch_map, simulate_group_rounds, BlockCtx, CostModel, DeviceConfig, KernelConfig,
@@ -28,6 +29,22 @@ pub struct SymbolicOutput {
     pub reports: Vec<KernelReport>,
     /// Blocks that fell back to a global hash map.
     pub spilled_blocks: usize,
+}
+
+impl SymbolicOutput {
+    /// Records the pass's deterministic outputs under `sim/symbolic/`:
+    /// spilled-block count and the exact C row-size distribution.
+    pub(crate) fn record_metrics(&self, m: &MetricsSink<'_>) {
+        if m.registry().is_none() {
+            return;
+        }
+        m.add("sim/symbolic/spilled_blocks", self.spilled_blocks as u64);
+        let mut h = LocalHistogram::new();
+        for &n in &self.row_nnz {
+            h.record(n as u64);
+        }
+        m.record_local("sim/symbolic/row_nnz", &h);
+    }
 }
 
 /// Groups plan blocks into launches of identical (method, config). The

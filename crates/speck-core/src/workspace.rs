@@ -26,6 +26,7 @@ use crate::hashacc::Accumulator;
 use speck_sparse::Scalar;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Reusable buffers for one simulated block.
@@ -73,6 +74,8 @@ impl<V: Scalar> Default for Workspace<V> {
 #[derive(Debug, Default)]
 pub struct WorkspacePool<V> {
     idle: Mutex<Vec<Workspace<V>>>,
+    in_use: AtomicUsize,
+    peak_in_use: AtomicUsize,
 }
 
 impl<V: Scalar> WorkspacePool<V> {
@@ -80,6 +83,8 @@ impl<V: Scalar> WorkspacePool<V> {
     pub fn new() -> Self {
         Self {
             idle: Mutex::new(Vec::new()),
+            in_use: AtomicUsize::new(0),
+            peak_in_use: AtomicUsize::new(0),
         }
     }
 
@@ -87,6 +92,8 @@ impl<V: Scalar> WorkspacePool<V> {
     /// drops.
     pub fn acquire(&self) -> WorkspaceGuard<'_, V> {
         let ws = self.idle.lock().unwrap().pop().unwrap_or_default();
+        let now = self.in_use.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_use.fetch_max(now, Ordering::Relaxed);
         WorkspaceGuard {
             pool: self,
             ws: Some(ws),
@@ -96,6 +103,18 @@ impl<V: Scalar> WorkspacePool<V> {
     /// Number of idle workspaces currently pooled.
     pub fn idle_count(&self) -> usize {
         self.idle.lock().unwrap().len()
+    }
+
+    /// Number of workspaces currently checked out.
+    pub fn in_use_count(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Highest number of simultaneously checked-out workspaces seen — the
+    /// pool's occupancy high-water mark (block concurrency actually
+    /// reached, as opposed to grid size).
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use.load(Ordering::Relaxed)
     }
 }
 
@@ -122,20 +141,27 @@ impl<V: Scalar> Drop for WorkspaceGuard<'_, V> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
             self.pool.idle.lock().unwrap().push(ws);
+            self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
 
-/// One registered pool plus a monomorphised probe for its idle count, so
+/// One registered pool plus monomorphised probes for its occupancy, so
 /// the type-erased registry can report totals without knowing `V`.
 struct PoolEntry {
     pool: Arc<dyn Any + Send + Sync>,
     idle: fn(&(dyn Any + Send + Sync)) -> usize,
+    peak: fn(&(dyn Any + Send + Sync)) -> usize,
 }
 
 fn idle_of<V: Scalar>(any: &(dyn Any + Send + Sync)) -> usize {
     any.downcast_ref::<WorkspacePool<V>>()
         .map_or(0, |p| p.idle_count())
+}
+
+fn peak_of<V: Scalar>(any: &(dyn Any + Send + Sync)) -> usize {
+    any.downcast_ref::<WorkspacePool<V>>()
+        .map_or(0, |p| p.peak_in_use())
 }
 
 /// Type-erased registry of one [`WorkspacePool`] per scalar type, letting
@@ -158,6 +184,7 @@ impl SharedWorkspaces {
         let entry = pools.entry(TypeId::of::<V>()).or_insert_with(|| PoolEntry {
             pool: Arc::new(WorkspacePool::<V>::new()) as Arc<dyn Any + Send + Sync>,
             idle: idle_of::<V>,
+            peak: peak_of::<V>,
         });
         Arc::clone(&entry.pool)
             .downcast::<WorkspacePool<V>>()
@@ -170,6 +197,13 @@ impl SharedWorkspaces {
     pub fn total_idle(&self) -> usize {
         let pools = self.pools.lock().unwrap();
         pools.values().map(|e| (e.idle)(e.pool.as_ref())).sum()
+    }
+
+    /// Sum of every pool's occupancy high-water mark (see
+    /// [`WorkspacePool::peak_in_use`]).
+    pub fn total_peak_in_use(&self) -> usize {
+        let pools = self.pools.lock().unwrap();
+        pools.values().map(|e| (e.peak)(e.pool.as_ref())).sum()
     }
 }
 
@@ -195,8 +229,11 @@ mod tests {
             a.iters.push(1);
             b.iters.push(2);
             assert_eq!(pool.idle_count(), 0);
+            assert_eq!(pool.in_use_count(), 2);
         }
         assert_eq!(pool.idle_count(), 2);
+        assert_eq!(pool.in_use_count(), 0);
+        assert_eq!(pool.peak_in_use(), 2);
         let c = pool.acquire();
         assert_eq!(pool.idle_count(), 1);
         // The recycled buffer keeps its capacity; kernels clear it.

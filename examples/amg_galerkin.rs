@@ -146,4 +146,19 @@ fn main() {
         "plan reuse speedup: {:.2}x simulated (analysis + symbolic skipped)",
         cold / warm
     );
+
+    // The engine's metrics registry saw both builds: the snapshot's
+    // plan-cache counters quantify the reuse, and the stage counters show
+    // the warm build launched no analysis or symbolic kernels.
+    let snap = engine.metrics_snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "\nmetrics: {} multiplies, plan cache {} hits / {} misses, \
+         {} analysis launches vs {} numeric launches",
+        counter("engine/multiply_calls"),
+        counter("plan_cache/hits"),
+        counter("plan_cache/misses"),
+        counter("sim/stage/analysis/launches"),
+        counter("sim/stage/num. SpGEMM/launches"),
+    );
 }
