@@ -10,6 +10,10 @@
 #                       #     MetricsSnapshot drifts from BENCH_metrics.json
 #                       #     (sim counters exact, wall gauges within the
 #                       #     baseline's declared tolerance)
+#   ./ci.sh --trace     # ... plus a tracing smoke gate: exports a Chrome
+#                       #     trace twice (must be byte-identical), round-
+#                       #     trips it through --profile-from, and diffs a
+#                       #     trace against itself (all deltas zero)
 #
 # The flags compose into ONE bench_throughput invocation (a full run takes
 # minutes), so `--smoke --metrics` checks both gates against the same run.
@@ -28,11 +32,13 @@ BENCH_ROUNDS=3
 run_bench=0
 run_smoke=0
 run_metrics=0
+run_trace=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --smoke) run_smoke=1 ;;
         --metrics) run_metrics=1 ;;
+        --trace) run_trace=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -85,6 +91,29 @@ if [ "$run_bench" -eq 1 ] || [ "$run_smoke" -eq 1 ] || [ "$run_metrics" -eq 1 ];
     echo "==> $desc"
     cargo run --release -p speck-bench --bin bench_throughput -- "${bench_args[@]}"
     echo "metrics table: target/ci/metrics_table.txt"
+fi
+
+if [ "$run_trace" -eq 1 ]; then
+    echo "==> tracing smoke gate (export determinism + profile round trip)"
+    mkdir -p target/ci
+    runspeck=(cargo run --release -p speck-bench --bin runspeck --)
+    # Two exports of the same workload must be byte-identical.
+    "${runspeck[@]}" --synthetic mesh3d 2 --iterations 1 --warmup 0 \
+        --trace-out target/ci/trace.json --profile \
+        >target/ci/trace_profile.txt
+    "${runspeck[@]}" --synthetic mesh3d 2 --iterations 1 --warmup 0 \
+        --trace-out /tmp/trace_repeat.json >/dev/null
+    cmp target/ci/trace.json /tmp/trace_repeat.json \
+        || { echo "FAIL: trace export is not deterministic" >&2; exit 1; }
+    # Parse -> profile round trip on the exported file.
+    "${runspeck[@]}" --profile-from target/ci/trace.json \
+        >target/ci/trace_profile_from.txt
+    # A trace diffed against itself must show a zero total delta.
+    "${runspeck[@]}" --trace-diff target/ci/trace.json target/ci/trace.json \
+        | tee /tmp/trace_selfdiff.txt
+    grep -q "total delta: +0.000 us" /tmp/trace_selfdiff.txt \
+        || { echo "FAIL: self-diff total delta is not zero" >&2; exit 1; }
+    echo "trace artifacts: target/ci/trace.json, target/ci/trace_profile.txt"
 fi
 
 echo "CI OK"

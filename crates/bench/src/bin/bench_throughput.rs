@@ -32,7 +32,15 @@
 //!   tolerance. Non-zero exit on drift.
 //! * `--wall-tolerance F` — relative tolerance declared in the emitted
 //!   snapshot for its `wall/` gauges (default 0.35).
+//!
+//! Trace options (run on a separate engine with its own registry, so the
+//! digest and metrics gates above are untouched):
+//! * `--trace-out PATH` — run one cold traced multiply of the largest
+//!   corpus entry and write its Chrome Trace Event JSON to `PATH`.
+//! * `--profile-table PATH` — also write the folded profile report
+//!   (hot rows, per-bin cycles, SM utilization) to `PATH`.
 
+use speck_bench::cli::parse_flags;
 use speck_bench::corpus::{common_corpus, smoke_corpus};
 use speck_core::metrics::{compare_snapshots, MetricsRegistry, MetricsSnapshot};
 use speck_core::SpeckSpgemm;
@@ -91,37 +99,34 @@ fn perturb(m: &Csr<f64>, salt: u64) -> Csr<f64> {
 }
 
 fn main() {
-    let mut positional: Vec<String> = Vec::new();
-    let mut expect_digest: Option<u64> = None;
-    let mut metrics_out: Option<String> = None;
-    let mut metrics_table: Option<String> = None;
-    let mut check_metrics: Option<String> = None;
-    let mut wall_tolerance = 0.35f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--expect-digest" {
-            let hex = args.next().expect("--expect-digest needs a hex value");
-            expect_digest =
-                Some(u64::from_str_radix(&hex, 16).expect("--expect-digest: bad hex value"));
-        } else if arg == "--metrics-out" {
-            metrics_out = Some(args.next().expect("--metrics-out needs a path"));
-        } else if arg == "--metrics-table" {
-            metrics_table = Some(args.next().expect("--metrics-table needs a path"));
-        } else if arg == "--check-metrics" {
-            check_metrics = Some(args.next().expect("--check-metrics needs a baseline path"));
-        } else if arg == "--wall-tolerance" {
-            wall_tolerance = args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .expect("--wall-tolerance needs a number");
-        } else {
-            positional.push(arg);
-        }
-    }
-    let mut positional = positional.into_iter();
+    let parsed = parse_flags(
+        std::env::args().skip(1),
+        &[
+            ("--expect-digest", 1),
+            ("--metrics-out", 1),
+            ("--metrics-table", 1),
+            ("--check-metrics", 1),
+            ("--wall-tolerance", 1),
+            ("--trace-out", 1),
+            ("--profile-table", 1),
+        ],
+        &[],
+    )
+    .unwrap_or_else(|e| panic!("bench_throughput: {e}"));
+    let expect_digest: Option<u64> = parsed
+        .value("--expect-digest")
+        .map(|hex| u64::from_str_radix(hex, 16).expect("--expect-digest: bad hex value"));
+    let metrics_out = parsed.value("--metrics-out").map(String::from);
+    let metrics_table = parsed.value("--metrics-table").map(String::from);
+    let check_metrics = parsed.value("--check-metrics").map(String::from);
+    let wall_tolerance: f64 = parsed.parsed_or("--wall-tolerance", 0.35);
+    let trace_out = parsed.value("--trace-out").map(String::from);
+    let profile_table = parsed.value("--profile-table").map(String::from);
+    let mut positional = parsed.positional.iter();
     let rounds: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let out_path = positional
         .next()
+        .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".into());
     let baseline_mps: Option<f64> = positional.next().and_then(|s| s.parse().ok());
 
@@ -269,6 +274,34 @@ fn main() {
     }
     if let Some(path) = &metrics_table {
         std::fs::write(path, snap.render_table()).expect("write metrics table");
+    }
+
+    if trace_out.is_some() || profile_table.is_some() {
+        // Traced multiply of the largest corpus entry on a dedicated
+        // engine (own registry, cache disabled): the trace covers a full
+        // cold pipeline and nothing above — digest, metrics snapshot,
+        // wall timings — observes it.
+        let (name, a, b) = pairs
+            .iter()
+            .max_by_key(|(_, a, _)| a.nnz())
+            .expect("corpus is not empty");
+        let traced = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_tracing(true);
+        let (_, r) = traced.multiply(a, b);
+        let trace = r.trace.expect("tracing engine attaches a trace");
+        if let Some(path) = &trace_out {
+            std::fs::write(path, trace.chrome_trace_json()).expect("write trace");
+            println!(
+                "trace of '{name}' ({} records) written to {path}",
+                trace.records.len()
+            );
+        }
+        if let Some(path) = &profile_table {
+            let profile = speck_core::profile::profile_trace(&trace, 15);
+            std::fs::write(path, profile.render_table()).expect("write profile table");
+            println!("profile table of '{name}' written to {path}");
+        }
     }
 
     let mut failed = false;

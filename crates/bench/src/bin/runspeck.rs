@@ -16,10 +16,25 @@
 //!   --synthetic FAMILY N  run on a generated matrix instead of a file
 //!   --metrics             print the engine's metrics table after the run
 //!                         (per-stage sim counters, spans, cache stats)
+//!   --metrics-table PATH  write the metrics table to PATH
+//!   --metrics-out PATH    write the full metrics snapshot JSON to PATH
+//!   --trace-out PATH      run one cold traced multiply and write its
+//!                         Chrome Trace Event JSON to PATH (open in
+//!                         Perfetto or chrome://tracing)
+//!   --profile             fold the trace into a profile report (hottest
+//!                         rows/blocks, per-bin cycles, SM utilization)
+//!                         and print it
+//!   --profile-from PATH   profile a previously exported trace file and
+//!                         exit (no multiply)
+//!   --trace-diff OLD NEW  diff two exported traces (e.g. cold vs warm
+//!                         plan) and exit
 //! ```
 
 use speck_baselines::{cusparse_like::CusparseLike, SpgemmMethod};
+use speck_bench::cli::parse_flags;
 use speck_core::pipeline::stage;
+use speck_core::profile::{diff_traces, profile_trace};
+use speck_core::trace::ExecutionTrace;
 use speck_core::SpeckSpgemm;
 use speck_simt::{CostModel, DeviceConfig};
 use speck_sparse::gen::{banded, poisson_3d, rmat};
@@ -27,6 +42,9 @@ use speck_sparse::io::{bin, mm};
 use speck_sparse::transpose::transpose;
 use speck_sparse::Csr;
 use std::path::PathBuf;
+
+/// Hot rows/blocks shown by `--profile`.
+const PROFILE_TOP_K: usize = 15;
 
 struct Options {
     input: Option<PathBuf>,
@@ -37,37 +55,71 @@ struct Options {
     compare: bool,
     cache: bool,
     metrics: bool,
+    metrics_table: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Options {
-    let mut o = Options {
-        input: None,
-        synthetic: None,
-        iterations: 5,
-        warmup: 1,
-        individual: false,
-        compare: false,
-        cache: true,
-        metrics: false,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--iterations" => o.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(5),
-            "--warmup" => o.warmup = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
-            "--individual-times" => o.individual = true,
-            "--compare" => o.compare = true,
-            "--no-cache" => o.cache = false,
-            "--metrics" => o.metrics = true,
-            "--synthetic" => {
-                let fam = args.next().unwrap_or_else(|| "mesh3d".into());
-                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or(2);
-                o.synthetic = Some((fam, n));
-            }
-            other => o.input = Some(PathBuf::from(other)),
-        }
+    let parsed = parse_flags(
+        std::env::args().skip(1),
+        &[
+            ("--iterations", 1),
+            ("--warmup", 1),
+            ("--synthetic", 2),
+            ("--metrics-table", 1),
+            ("--metrics-out", 1),
+            ("--trace-out", 1),
+            ("--profile-from", 1),
+            ("--trace-diff", 2),
+        ],
+        &[
+            "--individual-times",
+            "--compare",
+            "--no-cache",
+            "--metrics",
+            "--profile",
+        ],
+    )
+    .unwrap_or_else(|e| panic!("runspeck: {e}"));
+
+    // Standalone trace-tool modes: no matrix load, no multiply.
+    if let Some(path) = parsed.value("--profile-from") {
+        let trace = read_trace(path);
+        print!("{}", profile_trace(&trace, PROFILE_TOP_K).render_table());
+        std::process::exit(0);
     }
-    o
+    if let Some(paths) = parsed.values_of("--trace-diff") {
+        let old = read_trace(&paths[0]);
+        let new = read_trace(&paths[1]);
+        print!("{}", diff_traces(&old, &new).render_table());
+        std::process::exit(0);
+    }
+
+    Options {
+        input: parsed.positional.first().map(PathBuf::from),
+        synthetic: parsed
+            .values_of("--synthetic")
+            .map(|v| (v[0].clone(), v[1].parse().unwrap_or(2))),
+        iterations: parsed.parsed_or("--iterations", 5),
+        warmup: parsed.parsed_or("--warmup", 1),
+        individual: parsed.flag("--individual-times"),
+        compare: parsed.flag("--compare"),
+        cache: !parsed.flag("--no-cache"),
+        metrics: parsed.flag("--metrics"),
+        metrics_table: parsed.value("--metrics-table").map(String::from),
+        metrics_out: parsed.value("--metrics-out").map(String::from),
+        trace_out: parsed.value("--trace-out").map(String::from),
+        profile: parsed.flag("--profile"),
+    }
+}
+
+fn read_trace(path: &str) -> ExecutionTrace {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+    ExecutionTrace::from_chrome_trace(&text)
+        .unwrap_or_else(|e| panic!("cannot parse trace {path}: {e}"))
 }
 
 fn load(o: &Options) -> (Csr<f64>, String) {
@@ -171,6 +223,39 @@ fn main() {
     if o.metrics {
         println!("\nmetrics after {} executions:", o.iterations.max(1));
         print!("{}", engine.metrics_snapshot().render_table());
+    }
+    if let Some(path) = &o.metrics_table {
+        std::fs::write(path, engine.metrics_snapshot().render_table())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("metrics table written to {path}");
+    }
+    if let Some(path) = &o.metrics_out {
+        std::fs::write(path, engine.metrics_snapshot().full_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("metrics snapshot written to {path}");
+    }
+
+    if o.trace_out.is_some() || o.profile {
+        // One cold traced multiply on a dedicated engine: the trace covers
+        // the whole pipeline (setup + execution), and the timing loop
+        // above stays untouched by capture.
+        let traced = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_tracing(true);
+        let (_, tr_report) = traced.multiply(&a, &b);
+        let trace = tr_report.trace.expect("tracing engine attaches a trace");
+        if let Some(path) = &o.trace_out {
+            std::fs::write(path, trace.chrome_trace_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!(
+                "\ntrace: {} records written to {path} (open in Perfetto or chrome://tracing)",
+                trace.records.len()
+            );
+        }
+        if o.profile {
+            println!("\nprofile (one cold multiply):");
+            print!("{}", profile_trace(&trace, PROFILE_TOP_K).render_table());
+        }
     }
 
     if o.compare {

@@ -8,9 +8,11 @@
 //!   results, and records simulated time and memory.
 //! * [`summary`] — the aggregate statistics of paper Table 3.
 //! * [`out`] — plain-text table and CSV emission under `bench/out/`.
+//! * [`cli`] — the flag-parsing helper shared by the binaries.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod corpus;
 pub mod experiments;
 pub mod out;

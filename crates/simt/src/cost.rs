@@ -68,6 +68,27 @@ impl BlockCost {
         ]
     }
 
+    /// Sets one counter by its [`COST_COUNTER_NAMES`] name. Returns false
+    /// (and changes nothing) for an unknown name — the inverse of
+    /// [`BlockCost::counters`], used when reading costs back from an
+    /// exported trace.
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        match name {
+            "issue_rounds" => self.issue_rounds = value,
+            "gmem_tx" => self.gmem_tx = value,
+            "gmem_scatter" => self.gmem_scatter = value,
+            "gmem_atomics" => self.gmem_atomics = value,
+            "smem_ops" => self.smem_ops = value,
+            "smem_atomics" => self.smem_atomics = value,
+            "hash_probes" => self.hash_probes = value,
+            "sort_steps" => self.sort_steps = value,
+            "syncs" => self.syncs = value,
+            "spilled_elems" => self.spilled_elems = value,
+            _ => return false,
+        }
+        true
+    }
+
     /// Element-wise sum of two cost records.
     pub fn merge(&self, o: &BlockCost) -> BlockCost {
         BlockCost {

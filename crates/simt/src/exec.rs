@@ -6,8 +6,10 @@ use crate::block::BlockCtx;
 use crate::cost::{BlockCost, CostModel};
 use crate::device::DeviceConfig;
 use crate::kernel::KernelConfig;
+use crate::trace::{self, BlockEvent, BlockPlacement, KernelBlockTrace};
 use rayon::prelude::*;
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Outcome of one simulated kernel launch.
 #[derive(Clone, Debug)]
@@ -27,6 +29,10 @@ pub struct KernelReport {
     pub sim_cycles: f64,
     /// Simulated execution time in seconds.
     pub sim_time_s: f64,
+    /// Per-block schedule trace, present only while a
+    /// [`trace::CaptureGuard`] was alive at launch time. `Arc` so cloning
+    /// reports (timelines do) never copies event vectors.
+    pub trace: Option<Arc<KernelBlockTrace>>,
 }
 
 /// Schedules per-block `(compute, memory)` cycle costs onto the device and
@@ -53,6 +59,24 @@ pub struct KernelReport {
 /// strict `<` lowest-index tie-break, and per-SM sums accumulate in the
 /// same block order.
 pub fn schedule_blocks(dev: &DeviceConfig, cfg: KernelConfig, blocks: &[(f64, f64)]) -> f64 {
+    schedule_blocks_placed(dev, cfg, blocks, None)
+}
+
+/// [`schedule_blocks`] with optional per-block placement capture.
+///
+/// When `placements` is `Some`, one [`BlockPlacement`] per block is pushed
+/// in grid order: the SM chosen by the greedy deal plus a resident-slot
+/// assignment (the block lands on the slot of that SM that frees earliest,
+/// lowest slot index on ties, and occupies it for its serial critical
+/// path). Capture shares the *same* loop and accumulators as the untraced
+/// path, so the returned makespan is bit-identical whether or not
+/// placements are recorded.
+pub fn schedule_blocks_placed(
+    dev: &DeviceConfig,
+    cfg: KernelConfig,
+    blocks: &[(f64, f64)],
+    mut placements: Option<&mut Vec<BlockPlacement>>,
+) -> f64 {
     use std::cmp::{Ordering, Reverse};
     use std::collections::BinaryHeap;
 
@@ -79,11 +103,18 @@ pub fn schedule_blocks(dev: &DeviceConfig, cfg: KernelConfig, blocks: &[(f64, f6
         }
     }
 
-    let bpsm = dev.blocks_per_sm(cfg.threads, cfg.scratch_bytes) as f64;
+    let bpsm_slots = dev.blocks_per_sm(cfg.threads, cfg.scratch_bytes);
+    let bpsm = bpsm_slots as f64;
     let mut sm_compute = vec![0.0f64; dev.num_sms];
     let mut sm_memory = vec![0.0f64; dev.num_sms];
     let mut sm_serial = vec![0.0f64; dev.num_sms];
     let mut sm_max = vec![0.0f64; dev.num_sms];
+    // Slot-clock end times, only allocated when placements are captured.
+    let mut slot_end: Vec<f64> = if placements.is_some() {
+        vec![0.0f64; dev.num_sms * bpsm_slots]
+    } else {
+        Vec::new()
+    };
     let mut heap: BinaryHeap<Reverse<SmLoad>> = (0..dev.num_sms)
         .map(|sm| Reverse(SmLoad { load: 0.0, sm }))
         .collect();
@@ -94,6 +125,24 @@ pub fn schedule_blocks(dev: &DeviceConfig, cfg: KernelConfig, blocks: &[(f64, f6
         sm_memory[sm] += m;
         sm_serial[sm] += serial;
         sm_max[sm] = sm_max[sm].max(serial);
+        if let Some(out) = placements.as_deref_mut() {
+            let base = sm * bpsm_slots;
+            let mut best = 0usize;
+            for s in 1..bpsm_slots {
+                if slot_end[base + s] < slot_end[base + best] {
+                    best = s;
+                }
+            }
+            let start = slot_end[base + best];
+            let end = start + serial;
+            slot_end[base + best] = end;
+            out.push(BlockPlacement {
+                sm: sm as u32,
+                slot: best as u32,
+                start_cycles: start,
+                end_cycles: end,
+            });
+        }
         heap.push(Reverse(SmLoad {
             load: load + serial,
             sm,
@@ -166,7 +215,33 @@ where
         .map(|c| *c)
         .reduce(BlockCost::default, |a, b| a.merge(&b));
 
-    let body = schedule_blocks(dev, cfg, &block_cycles);
+    // Capture is checked once per launch; when off the scheduler runs the
+    // identical loop with no extra bookkeeping, so `sim_cycles` is
+    // bit-identical either way.
+    let mut placements = trace::capture_enabled().then(|| Vec::with_capacity(grid));
+    let body = schedule_blocks_placed(dev, cfg, &block_cycles, placements.as_mut());
+    let block_trace = placements.map(|pl| {
+        let events = pl
+            .iter()
+            .zip(costs.iter())
+            .zip(block_cycles.iter())
+            .enumerate()
+            .map(|(i, ((p, c), &(cc, mc)))| BlockEvent {
+                grid_idx: i as u32,
+                sm: p.sm,
+                slot: p.slot,
+                start_cycles: p.start_cycles,
+                end_cycles: p.end_cycles,
+                compute_cycles: cc,
+                memory_cycles: mc,
+                cost: *c,
+            })
+            .collect();
+        Arc::new(KernelBlockTrace {
+            events,
+            body_cycles: body,
+        })
+    });
     let sim_cycles = body + dev.launch_overhead_cycles;
     let report = KernelReport {
         name,
@@ -176,6 +251,7 @@ where
         total_cost,
         sim_cycles,
         sim_time_s: dev.cycles_to_seconds(sim_cycles),
+        trace: block_trace,
     };
     (report, outputs)
 }
@@ -204,10 +280,13 @@ impl KernelReport {
         }
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Format (pinned by a unit test so
+    /// profiler output can rely on it):
+    ///
+    /// `<name>: grid <g> x <t>t/<s>B, <time> us, bw: <bw> GB/s, occ: <n> blocks/SM`
     pub fn summary(&self, dev: &DeviceConfig) -> String {
         format!(
-            "{}: grid {} x {}t/{}B, {:.1} us, {:.0} GB/s, {} blocks/SM",
+            "{}: grid {} x {}t/{}B, {:.1} us, bw: {:.0} GB/s, occ: {} blocks/SM",
             self.name,
             self.grid,
             self.cfg.threads,
@@ -385,6 +464,136 @@ mod tests {
         );
         assert!(r.body_cycles(&d) > 0.0);
         assert!(r.summary(&d).contains("bw:"));
+    }
+
+    #[test]
+    fn schedule_empty_block_list_is_zero() {
+        let d = dev();
+        assert_eq!(schedule_blocks(&d, KernelConfig::new(32, 0), &[]), 0.0);
+        // And with capture on: still zero, no placements recorded.
+        let mut pl = Vec::new();
+        let t = schedule_blocks_placed(&d, KernelConfig::new(32, 0), &[], Some(&mut pl));
+        assert_eq!(t, 0.0);
+        assert!(pl.is_empty());
+    }
+
+    #[test]
+    fn schedule_single_block_is_its_serial_path() {
+        let d = dev();
+        let t = schedule_blocks(&d, KernelConfig::new(32, 0), &[(70.0, 120.0)]);
+        assert_eq!(t, 120.0);
+        let mut pl = Vec::new();
+        schedule_blocks_placed(
+            &d,
+            KernelConfig::new(32, 0),
+            &[(70.0, 120.0)],
+            Some(&mut pl),
+        );
+        assert_eq!(pl.len(), 1);
+        assert_eq!((pl[0].sm, pl[0].slot), (0, 0));
+        assert_eq!((pl[0].start_cycles, pl[0].end_cycles), (0.0, 120.0));
+    }
+
+    #[test]
+    fn schedule_grid_smaller_than_one_sm_fans_out() {
+        // Fewer blocks than one SM's resident slots: the greedy deal still
+        // spreads them one per SM, so the makespan is the worst serial path.
+        let d = dev();
+        let cfg = KernelConfig::new(32, 0);
+        assert!(d.blocks_per_sm(32, 0) > 3);
+        let blocks = [(10.0, 5.0), (20.0, 5.0), (30.0, 5.0)];
+        let mut pl = Vec::new();
+        let t = schedule_blocks_placed(&d, cfg, &blocks, Some(&mut pl));
+        assert_eq!(t, 30.0);
+        let sms: Vec<u32> = pl.iter().map(|p| p.sm).collect();
+        assert_eq!(sms, vec![0, 1, 2]);
+        assert!(pl.iter().all(|p| p.slot == 0 && p.start_cycles == 0.0));
+    }
+
+    #[test]
+    fn schedule_single_slot_occupancy_serialises() {
+        // blocks_per_sm == 1: a lone SM cannot overlap the serial critical
+        // paths of its blocks, so mixed compute/memory blocks serialise.
+        let mut d = dev();
+        d.num_sms = 1;
+        d.max_blocks_per_sm = 1;
+        let cfg = KernelConfig::new(32, 0);
+        assert_eq!(d.blocks_per_sm(cfg.threads, cfg.scratch_bytes), 1);
+        let blocks = [(100.0, 0.0), (0.0, 100.0)];
+        let t = schedule_blocks(&d, cfg, &blocks);
+        assert_eq!(t, 200.0); // sum of serials, not max(sum c, sum m) = 100
+        let mut two_slots = d.clone();
+        two_slots.max_blocks_per_sm = 2;
+        assert_eq!(schedule_blocks(&two_slots, cfg, &blocks), 100.0);
+    }
+
+    #[test]
+    fn summary_format_is_pinned() {
+        // The exact summary layout is part of the profiler's contract.
+        let d = dev();
+        let r = launch(
+            &d,
+            &CostModel::default(),
+            "fmt",
+            4,
+            KernelConfig::new(64, 256),
+            |ctx| ctx.charge_gmem_tx(100),
+        );
+        let s = r.summary(&d);
+        assert_eq!(
+            s,
+            format!(
+                "fmt: grid 4 x 64t/256B, {:.1} us, bw: {:.0} GB/s, occ: {} blocks/SM",
+                r.sim_time_s * 1e6,
+                r.achieved_bandwidth_gbps(&d),
+                r.blocks_per_sm
+            )
+        );
+        assert!(s.contains("bw: "));
+        assert!(s.contains("occ: "));
+        assert!(s.contains("blocks/SM"));
+    }
+
+    #[test]
+    fn capture_records_one_event_per_block() {
+        let d = dev();
+        let run = || {
+            launch(
+                &d,
+                &CostModel::default(),
+                "traced",
+                37,
+                KernelConfig::new(64, 0),
+                |ctx| {
+                    ctx.charge_rounds((ctx.block_id() as u64 % 5) * 3 + 1);
+                    ctx.charge_gmem_tx(ctx.block_id() as u64 * 2);
+                },
+            )
+        };
+        let untraced = run();
+        assert!(untraced.trace.is_none());
+        let traced = {
+            let _g = crate::trace::CaptureGuard::new();
+            run()
+        };
+        let tr = traced.trace.as_ref().expect("capture was on");
+        assert_eq!(tr.events.len(), 37);
+        // Capture must not perturb the simulated time.
+        assert_eq!(traced.sim_cycles.to_bits(), untraced.sim_cycles.to_bits());
+        assert_eq!(tr.body_cycles.to_bits(), untraced.body_cycles(&d).to_bits());
+        // Events are in grid order with sane placements.
+        let bpsm = d.blocks_per_sm(64, 0) as u32;
+        for (i, e) in tr.events.iter().enumerate() {
+            assert_eq!(e.grid_idx as usize, i);
+            assert!((e.sm as usize) < d.num_sms);
+            assert!(e.slot < bpsm);
+            assert!(e.end_cycles >= e.start_cycles);
+            assert_eq!(e.end_cycles - e.start_cycles, e.serial_cycles());
+        }
+        // Refolding the events through the scheduler reproduces the body
+        // makespan bit-for-bit.
+        let refold = tr.refold_body_cycles(&d, KernelConfig::new(64, 0));
+        assert_eq!(refold.to_bits(), tr.body_cycles.to_bits());
     }
 
     #[test]

@@ -35,12 +35,14 @@ pub mod kernel;
 pub mod memtrack;
 pub mod scratchpad;
 pub mod timeline;
+pub mod trace;
 
 pub use block::{simulate_group_rounds, BlockCtx};
 pub use cost::{BlockCost, CostModel, COST_COUNTER_NAMES};
 pub use device::DeviceConfig;
-pub use exec::{launch, launch_map, KernelReport};
+pub use exec::{launch, launch_map, schedule_blocks, schedule_blocks_placed, KernelReport};
 pub use kernel::KernelConfig;
 pub use memtrack::MemTracker;
 pub use scratchpad::Scratchpad;
 pub use timeline::{StageTime, Timeline};
+pub use trace::{capture_enabled, BlockEvent, BlockPlacement, CaptureGuard, KernelBlockTrace};

@@ -1,0 +1,187 @@
+//! Opt-in per-block execution tracing.
+//!
+//! The scheduler in [`crate::exec::schedule_blocks`] normally reduces the
+//! per-block schedule to a single makespan. When capture is enabled (see
+//! [`CaptureGuard`]), [`crate::exec::launch_map`] additionally keeps one
+//! [`BlockEvent`] per scheduled block — which SM it was dealt to, which
+//! resident slot it occupied, its start/end cycles on the slot clock, and
+//! its full [`BlockCost`] breakdown — attached to the
+//! [`crate::exec::KernelReport`] as a [`KernelBlockTrace`].
+//!
+//! # Capture switch
+//!
+//! Capture is a process-wide counter flipped by the RAII [`CaptureGuard`]
+//! (nested guards compose: capture is on while at least one guard is
+//! alive). The disabled path costs a single relaxed atomic load per kernel
+//! launch and nothing per block, and capture **never** changes the
+//! simulated cycle arithmetic — the traced and untraced scheduler share
+//! one loop, so `sim_cycles` is bit-identical either way.
+//!
+//! # Determinism classes
+//!
+//! Every field recorded here is derived from the deterministic scheduler
+//! deal and the functional block costs; traces are therefore byte-stable
+//! across runs and rayon schedules. No wall-clock data is captured.
+
+use crate::cost::BlockCost;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CAPTURE: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns true while at least one [`CaptureGuard`] is alive.
+///
+/// Checked once per [`crate::exec::launch_map`] call; the per-block hot
+/// path never consults it.
+pub fn capture_enabled() -> bool {
+    CAPTURE.load(Ordering::Relaxed) > 0
+}
+
+/// RAII switch for per-block trace capture.
+///
+/// While a guard is alive every kernel launch in the process records a
+/// [`KernelBlockTrace`] into its report. Guards nest (a counter, not a
+/// flag), so concurrent traced sections compose instead of clobbering
+/// each other.
+#[derive(Debug)]
+pub struct CaptureGuard(());
+
+impl CaptureGuard {
+    /// Enables capture until the guard is dropped.
+    pub fn new() -> Self {
+        CAPTURE.fetch_add(1, Ordering::Relaxed);
+        CaptureGuard(())
+    }
+}
+
+impl Default for CaptureGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        CAPTURE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Placement of one block on the simulated device: which SM the greedy
+/// deal chose, which resident slot stacked it, and the slot-clock
+/// start/end cycles.
+///
+/// Start/end come from a slot-stacking visualization model: each SM
+/// exposes `blocks_per_sm` resident slots, a block lands on the slot
+/// that frees up earliest (lowest slot index on ties) and occupies it
+/// for its serial critical path `max(compute, memory)`. This is the
+/// timeline drawn in a trace viewer; the *modelled* SM time additionally
+/// accounts for pipe throughput (see [`crate::exec::schedule_blocks`]),
+/// so per-slot end times are a lower bound on the kernel makespan, not
+/// the makespan itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockPlacement {
+    /// SM index the block was dealt to.
+    pub sm: u32,
+    /// Resident-slot index within the SM (`0..blocks_per_sm`).
+    pub slot: u32,
+    /// Slot-clock cycle at which the block starts.
+    pub start_cycles: f64,
+    /// Slot-clock cycle at which the block ends (`start + serial`).
+    pub end_cycles: f64,
+}
+
+/// One captured event per scheduled block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockEvent {
+    /// Grid index of the block (its `block_id`).
+    pub grid_idx: u32,
+    /// SM index the greedy deal assigned.
+    pub sm: u32,
+    /// Resident-slot index within the SM.
+    pub slot: u32,
+    /// Slot-clock start cycle (see [`BlockPlacement`]).
+    pub start_cycles: f64,
+    /// Slot-clock end cycle.
+    pub end_cycles: f64,
+    /// Compute-pipe cycles charged to this block.
+    pub compute_cycles: f64,
+    /// Memory-pipe cycles charged to this block.
+    pub memory_cycles: f64,
+    /// Full event-counter breakdown for the block.
+    pub cost: BlockCost,
+}
+
+impl BlockEvent {
+    /// Serial critical path of the block: `max(compute, memory)` — the
+    /// cycles it occupies its resident slot.
+    pub fn serial_cycles(&self) -> f64 {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+}
+
+/// Per-block trace of one kernel launch, in grid order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelBlockTrace {
+    /// One event per block, indexed by grid index.
+    pub events: Vec<BlockEvent>,
+    /// Kernel body makespan in cycles (excluding launch overhead) —
+    /// exactly the value `schedule_blocks` returned for this launch.
+    pub body_cycles: f64,
+}
+
+impl KernelBlockTrace {
+    /// Refolds the recorded events through the scheduler and returns the
+    /// recomputed body makespan. Because events are stored in grid order
+    /// — the order the greedy deal consumed them — this reproduces
+    /// [`KernelBlockTrace::body_cycles`] bit-for-bit; the reconciliation
+    /// proptests pin that invariant.
+    pub fn refold_body_cycles(
+        &self,
+        dev: &crate::device::DeviceConfig,
+        cfg: crate::kernel::KernelConfig,
+    ) -> f64 {
+        let pairs: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .map(|e| (e.compute_cycles, e.memory_cycles))
+            .collect();
+        crate::exec::schedule_blocks(dev, cfg, &pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_toggles_capture() {
+        // Note: other tests may hold guards concurrently (tests run in
+        // parallel), so only assert the relative effect of our guard.
+        let before = CAPTURE.load(Ordering::Relaxed);
+        {
+            let _g = CaptureGuard::new();
+            assert!(CAPTURE.load(Ordering::Relaxed) > before);
+            assert!(capture_enabled());
+            {
+                let _g2 = CaptureGuard::new();
+                assert!(CAPTURE.load(Ordering::Relaxed) > before + 1);
+            }
+            assert!(capture_enabled());
+        }
+        assert_eq!(CAPTURE.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn serial_is_max_of_pipes() {
+        let e = BlockEvent {
+            grid_idx: 0,
+            sm: 0,
+            slot: 0,
+            start_cycles: 0.0,
+            end_cycles: 7.0,
+            compute_cycles: 3.0,
+            memory_cycles: 7.0,
+            cost: BlockCost::default(),
+        };
+        assert_eq!(e.serial_cycles(), 7.0);
+    }
+}

@@ -13,7 +13,7 @@ use speck_simt::{launch, CostModel, DeviceConfig, KernelConfig, KernelReport};
 
 /// Accumulation method chosen for a block (paper Fig. 2: Hash / Dense /
 /// Direct in both passes).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum AccMethod {
     /// Scratchpad hash map with linear probing.
     Hash,

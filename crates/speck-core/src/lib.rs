@@ -70,8 +70,10 @@ pub mod numeric;
 pub mod partial;
 pub mod pipeline;
 pub mod plan;
+pub mod profile;
 pub mod sort;
 pub mod symbolic;
+pub mod trace;
 pub mod tuning;
 pub mod workspace;
 
@@ -87,4 +89,9 @@ pub use pipeline::{
     SpeckSpgemm, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use plan::{pattern_fingerprint, PatternKey, PlanCache, SpgemmPlan};
+pub use profile::{diff_traces, profile_trace, ProfileReport, TraceDiff};
+pub use trace::{
+    parse_json_value, BlockAnnotation, ExecutionTrace, JsonValue, KernelTraceRecord, TraceBuilder,
+    TraceRecord, TraceRecordKind, TRACE_FORMAT,
+};
 pub use workspace::{SharedWorkspaces, Workspace, WorkspacePool};

@@ -23,6 +23,7 @@ use crate::metrics::{MetricsRegistry, MetricsSink, MetricsSnapshot};
 use crate::numeric::{row_ptr_from_nnz, run_numeric, NumericJob};
 use crate::plan::{fnv1a_bytes, PatternKey, PlanCache, SpgemmPlan};
 use crate::symbolic::{group_blocks, run_symbolic};
+use crate::trace::{pass_annotations, ExecutionTrace, TraceBuilder};
 use crate::workspace::{SharedWorkspaces, WorkspacePool};
 use rayon::prelude::*;
 use speck_simt::{CostModel, DeviceConfig, MemTracker, Timeline};
@@ -82,6 +83,11 @@ pub struct MultiplyReport {
     /// Whether this call reused a precomputed [`SpgemmPlan`] and skipped
     /// the analysis/symbolic setup stages.
     pub reused_plan: bool,
+    /// Full execution trace of the call, present only when the engine was
+    /// built [`SpeckSpgemm::with_tracing`]. Cold calls cover the whole
+    /// pipeline (setup + execution); reused calls cover only the stages
+    /// that ran. `Arc` so cloning reports stays cheap.
+    pub trace: Option<Arc<ExecutionTrace>>,
 }
 
 impl MultiplyReport {
@@ -118,6 +124,7 @@ pub struct SpeckSpgemm {
     workspaces: Arc<SharedWorkspaces>,
     plans: Arc<Mutex<PlanCache>>,
     metrics: Arc<MetricsRegistry>,
+    tracing: bool,
 }
 
 impl Default for SpeckSpgemm {
@@ -129,6 +136,7 @@ impl Default for SpeckSpgemm {
             workspaces: Arc::new(SharedWorkspaces::new()),
             plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
             metrics: Arc::new(MetricsRegistry::new()),
+            tracing: false,
         }
     }
 }
@@ -148,6 +156,22 @@ impl SpeckSpgemm {
     pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
         self.plans = Arc::new(Mutex::new(PlanCache::new(capacity)));
         self
+    }
+
+    /// Enables (or disables) execution tracing: every multiply through
+    /// this engine captures per-block schedules in the simulator (a
+    /// [`speck_simt::CaptureGuard`] spans the call) and attaches a full
+    /// [`ExecutionTrace`] to its report. Tracing never changes simulated
+    /// results — only the reports grow. Off by default; the disabled path
+    /// costs one atomic load per kernel launch.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Whether execution tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Shares a metrics registry: every multiply through this engine (and
@@ -215,7 +239,12 @@ impl SpeckSpgemm {
     /// plan: device, cost model, and configuration. Part of the cache key,
     /// so mutating the engine's public fields never revives a stale plan.
     fn env_digest(&self) -> u64 {
-        let env = format!("{:?}|{:?}|{:?}", self.device, self.cost, self.config);
+        // Tracing is part of the key: a tracing engine must not revive a
+        // plan that carries no setup trace (and vice versa).
+        let env = format!(
+            "{:?}|{:?}|{:?}|trace={}",
+            self.device, self.cost, self.config, self.tracing
+        );
         fnv1a_bytes(env.as_bytes())
     }
 
@@ -228,9 +257,19 @@ impl SpeckSpgemm {
     pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
         let m = MetricsSink::new(&self.metrics);
         m.add("engine/multiply_calls", 1);
+        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         if self.plans.lock().unwrap().capacity() == 0 {
-            let plan = plan_inner(&self.device, &self.cost, &self.config, a, b, &pool, m);
+            let plan = plan_inner(
+                &self.device,
+                &self.cost,
+                &self.config,
+                a,
+                b,
+                &pool,
+                self.tracing,
+                m,
+            );
             return execute_inner(
                 &self.device,
                 &self.cost,
@@ -240,6 +279,7 @@ impl SpeckSpgemm {
                 b,
                 &pool,
                 false,
+                self.tracing,
                 m,
             );
         }
@@ -255,6 +295,7 @@ impl SpeckSpgemm {
                     b,
                     &pool,
                     true,
+                    self.tracing,
                     m,
                 );
             }
@@ -266,6 +307,7 @@ impl SpeckSpgemm {
             a,
             b,
             &pool,
+            self.tracing,
             m,
         ));
         let out = execute_inner(
@@ -277,6 +319,7 @@ impl SpeckSpgemm {
             b,
             &pool,
             false,
+            self.tracing,
             m,
         );
         self.plans.lock().unwrap().insert(key, plan);
@@ -288,6 +331,7 @@ impl SpeckSpgemm {
     /// plan. Pair with [`SpeckSpgemm::execute_plan`] to amortise the setup
     /// across many multiplications of the same pattern.
     pub fn plan<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> SpgemmPlan<V> {
+        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         plan_inner(
             &self.device,
@@ -296,6 +340,7 @@ impl SpeckSpgemm {
             a,
             b,
             &pool,
+            self.tracing,
             MetricsSink::new(&self.metrics),
         )
     }
@@ -312,6 +357,7 @@ impl SpeckSpgemm {
         a: &Csr<V>,
         b: &Csr<V>,
     ) -> (Csr<V>, MultiplyReport) {
+        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         execute_inner(
             &self.device,
@@ -322,6 +368,7 @@ impl SpeckSpgemm {
             b,
             &pool,
             true,
+            self.tracing,
             MetricsSink::new(&self.metrics),
         )
     }
@@ -377,6 +424,7 @@ pub fn multiply_with_pool<V: Scalar>(
         b,
         pool,
         false,
+        false,
         MetricsSink::none(),
     )
 }
@@ -394,13 +442,14 @@ pub fn plan_with_pool<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
 ) -> SpgemmPlan<V> {
-    plan_inner(dev, cost, cfg, a, b, pool, MetricsSink::none())
+    plan_inner(dev, cost, cfg, a, b, pool, false, MetricsSink::none())
 }
 
 /// [`plan_with_pool`] with a metrics sink attached: every kernel launch,
 /// load-balancing decision, and stage span is recorded. Recording reads
 /// finished [`speck_simt::KernelReport`]s only, so simulated results are
 /// bit-identical with or without a registry.
+#[allow(clippy::too_many_arguments)]
 fn plan_inner<V: Scalar>(
     dev: &DeviceConfig,
     cost: &CostModel,
@@ -408,12 +457,16 @@ fn plan_inner<V: Scalar>(
     a: &Csr<V>,
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
+    tracing: bool,
     m: MetricsSink<'_>,
 ) -> SpgemmPlan<V> {
     assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
     let span = m.span("plan");
     let cascade = KernelCascade::for_device(dev);
     let mut timeline = Timeline::new();
+    // The tracer mirrors every timeline call below, in the same order, so
+    // the finished trace reconciles with the timeline bit-for-bit.
+    let mut tracer = tracing.then(|| TraceBuilder::new(dev));
     let mut setup_mem_bytes = 0usize;
     let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
 
@@ -424,8 +477,14 @@ fn plan_inner<V: Scalar>(
     };
     timeline.add_kernel(stage::ANALYSIS, &analysis_report);
     m.record_kernel(stage::ANALYSIS, &analysis_report);
+    if let Some(t) = tracer.as_mut() {
+        t.add_kernel(stage::ANALYSIS, &analysis_report, None, None, None);
+    }
     setup_mem_bytes += info.rows.len() * std::mem::size_of::<crate::analysis::RowInfo>();
     timeline.add_fixed(stage::ANALYSIS, alloc_s(1));
+    if let Some(t) = tracer.as_mut() {
+        t.add_fixed(stage::ANALYSIS, "alloc", alloc_s(1));
+    }
 
     // Stage 2: symbolic load balancing.
     let splan = {
@@ -435,11 +494,17 @@ fn plan_inner<V: Scalar>(
     for r in &splan.lb_reports {
         timeline.add_kernel(stage::SYMBOLIC_LOAD, r);
         m.record_kernel(stage::SYMBOLIC_LOAD, r);
+        if let Some(t) = tracer.as_mut() {
+            t.add_kernel(stage::SYMBOLIC_LOAD, r, None, None, None);
+        }
     }
     splan.record_metrics(&m, "symbolic");
     if splan.lb_alloc_bytes > 0 {
         setup_mem_bytes += splan.lb_alloc_bytes;
         timeline.add_fixed(stage::SYMBOLIC_LOAD, alloc_s(1));
+        if let Some(t) = tracer.as_mut() {
+            t.add_fixed(stage::SYMBOLIC_LOAD, "alloc", alloc_s(1));
+        }
     }
 
     // Stage 3: symbolic SpGEMM.
@@ -451,10 +516,21 @@ fn plan_inner<V: Scalar>(
         timeline.add_kernel(stage::SYMBOLIC, r);
         m.record_kernel(stage::SYMBOLIC, r);
     }
+    if let Some(t) = tracer.as_mut() {
+        // One report per (method, config) group, in group order — stamp
+        // each with its bin, accumulator, rows, and group size.
+        let anns = pass_annotations(dev, &cascade, cfg, &info, &splan, &group_blocks(&splan));
+        for (r, (acc, cfg_idx, ann)) in sym.reports.iter().zip(anns) {
+            t.add_kernel(stage::SYMBOLIC, r, Some(cfg_idx), Some(acc), Some(ann));
+        }
+    }
     sym.record_metrics(&m);
     // Row-count array + prefix sum for C's offsets.
     setup_mem_bytes += (a.rows() + 1) * 8;
     timeline.add_fixed(stage::SYMBOLIC, alloc_s(1));
+    if let Some(t) = tracer.as_mut() {
+        t.add_fixed(stage::SYMBOLIC, "alloc", alloc_s(1));
+    }
 
     // Stage 4: numeric load balancing on exact sizes.
     let nplan = {
@@ -473,11 +549,17 @@ fn plan_inner<V: Scalar>(
     for r in &nplan.lb_reports {
         timeline.add_kernel(stage::NUMERIC_LOAD, r);
         m.record_kernel(stage::NUMERIC_LOAD, r);
+        if let Some(t) = tracer.as_mut() {
+            t.add_kernel(stage::NUMERIC_LOAD, r, None, None, None);
+        }
     }
     nplan.record_metrics(&m, "numeric");
     if nplan.lb_alloc_bytes > 0 {
         setup_mem_bytes += nplan.lb_alloc_bytes;
         timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
+        if let Some(t) = tracer.as_mut() {
+            t.add_fixed(stage::NUMERIC_LOAD, "alloc", alloc_s(1));
+        }
     }
 
     // Global hash-map fallback pool: as many maps as can be live at once
@@ -491,6 +573,9 @@ fn plan_inner<V: Scalar>(
         let per_map = info.max_products as usize * (8 + std::mem::size_of::<V>());
         setup_mem_bytes += live * per_map;
         timeline.add_fixed(stage::NUMERIC_LOAD, alloc_s(1));
+        if let Some(t) = tracer.as_mut() {
+            t.add_fixed(stage::NUMERIC_LOAD, "alloc overflow pool", alloc_s(1));
+        }
     }
 
     let row_ptr = row_ptr_from_nnz(&sym.row_nnz);
@@ -511,6 +596,7 @@ fn plan_inner<V: Scalar>(
         setup_timeline: timeline,
         setup_mem_bytes,
         sym_spilled_blocks: sym.spilled_blocks,
+        setup_trace: tracer.map(TraceBuilder::finish),
         _values: PhantomData,
     }
 }
@@ -528,7 +614,18 @@ pub fn execute_plan_with_pool<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
 ) -> (Csr<V>, MultiplyReport) {
-    execute_inner(dev, cost, cfg, plan, a, b, pool, true, MetricsSink::none())
+    execute_inner(
+        dev,
+        cost,
+        cfg,
+        plan,
+        a,
+        b,
+        pool,
+        true,
+        false,
+        MetricsSink::none(),
+    )
 }
 
 /// The execution half of the pipeline. Cold calls (`reused == false`)
@@ -548,6 +645,7 @@ fn execute_inner<V: Scalar>(
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
     reused: bool,
+    tracing: bool,
     m: MetricsSink<'_>,
 ) -> (Csr<V>, MultiplyReport) {
     plan.check_shape(a, b);
@@ -562,6 +660,16 @@ fn execute_inner<V: Scalar>(
     } else {
         plan.setup_timeline.clone()
     };
+    // Mirrors the timeline exactly: a reused call traces only the stages
+    // that run; a cold call resumes from the plan's setup trace so the
+    // combined trace covers the whole pipeline.
+    let mut tracer = tracing.then(|| {
+        if reused {
+            TraceBuilder::new(dev)
+        } else {
+            TraceBuilder::resume(dev, plan.setup_trace.as_ref())
+        }
+    });
     let mut mem = MemTracker::new();
     mem.alloc(plan.setup_mem_bytes);
     // Output matrix C: counted for memory, not for time (paper §6: "the
@@ -583,6 +691,12 @@ fn execute_inner<V: Scalar>(
         timeline.add_kernel(stage::NUMERIC, r);
         m.record_kernel(stage::NUMERIC, r);
     }
+    if let Some(t) = tracer.as_mut() {
+        let anns = pass_annotations(dev, &cascade, cfg, &plan.info, &plan.nplan, &plan.ngroups);
+        for (r, (acc, cfg_idx, ann)) in num.reports.iter().zip(anns) {
+            t.add_kernel(stage::NUMERIC, r, Some(cfg_idx), Some(acc), Some(ann));
+        }
+    }
     num.record_metrics(&m);
 
     // Stage 6: sorting.
@@ -590,9 +704,15 @@ fn execute_inner<V: Scalar>(
         let _s = span.child("sorting");
         timeline.add_kernel(stage::SORTING, r);
         m.record_kernel(stage::SORTING, r);
+        if let Some(t) = tracer.as_mut() {
+            t.add_kernel(stage::SORTING, r, None, None, None);
+        }
         // Radix double-buffer.
         mem.alloc(num.radix_elems * (4 + std::mem::size_of::<V>()));
         timeline.add_fixed(stage::SORTING, alloc_s(1));
+        if let Some(t) = tracer.as_mut() {
+            t.add_fixed(stage::SORTING, "alloc", alloc_s(1));
+        }
     }
 
     let report = MultiplyReport {
@@ -609,6 +729,7 @@ fn execute_inner<V: Scalar>(
         radix_elems: num.radix_elems,
         products: plan.info.total_products,
         reused_plan: reused,
+        trace: tracer.map(|t| Arc::new(t.finish())),
         timeline,
     };
     (num.c, report)
@@ -889,6 +1010,69 @@ mod tests {
         let plan = e.plan(&a, &a);
         let other = uniform_random(60, 60, 2, 4, 3);
         let _ = e.execute_plan(&plan, &other, &other);
+    }
+
+    #[test]
+    fn tracing_is_neutral_and_reconciles_with_timeline() {
+        let a = rmat(8, 6, 0.57, 0.19, 0.19, 51);
+        let plain = SpeckSpgemm::default().with_plan_cache_capacity(0);
+        let traced = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_tracing(true);
+        let (_, r0) = plain.multiply(&a, &a);
+        let (_, r1) = traced.multiply(&a, &a);
+        assert!(r0.trace.is_none());
+        let tr = r1.trace.as_ref().expect("tracing engine attaches a trace");
+
+        // Tracing never changes simulated results.
+        assert_eq!(r0.sim_time_s.to_bits(), r1.sim_time_s.to_bits());
+        // The trace reconciles with the timeline bit-for-bit.
+        assert_eq!(tr.total_seconds().to_bits(), r1.sim_time_s.to_bits());
+        for (name, st) in r1.timeline.stages() {
+            let ts = tr.per_stage_seconds()[name];
+            assert_eq!(ts.to_bits(), st.seconds.to_bits(), "stage {name}");
+        }
+        // Every kernel record carries its per-block schedule.
+        for (_, k) in tr.kernels() {
+            let bt = k.blocks.as_ref().expect("capture was on");
+            assert_eq!(bt.events.len(), k.grid);
+        }
+        // The export is byte-deterministic across engines.
+        let (_, r2) = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_tracing(true)
+            .multiply(&a, &a);
+        let j1 = tr.chrome_trace_json();
+        assert_eq!(j1, r2.trace.as_ref().unwrap().chrome_trace_json());
+        let back = crate::trace::ExecutionTrace::from_chrome_trace(&j1).unwrap();
+        assert_eq!(back.chrome_trace_json(), j1);
+    }
+
+    #[test]
+    fn warm_trace_covers_only_executed_stages() {
+        let a = uniform_random(500, 500, 2, 6, 52);
+        let e = SpeckSpgemm::default().with_tracing(true);
+        let (_, cold) = e.multiply(&a, &a);
+        let (_, warm) = e.multiply(&a, &a);
+        assert!(warm.reused_plan);
+        let cold_tr = cold.trace.as_ref().unwrap();
+        let warm_tr = warm.trace.as_ref().unwrap();
+        // Cold trace spans the full pipeline, warm only the execute half.
+        let cold_stages = cold_tr.per_stage_seconds();
+        assert!(cold_stages.contains_key(stage::ANALYSIS));
+        assert!(cold_stages.contains_key(stage::NUMERIC));
+        for s in warm_tr.per_stage_seconds().keys() {
+            assert!(s == stage::NUMERIC || s == stage::SORTING, "stage {s}");
+        }
+        assert_eq!(warm_tr.total_seconds().to_bits(), warm.sim_time_s.to_bits());
+        // The diff pins exactly what plan reuse skipped.
+        let d = crate::profile::diff_traces(cold_tr, warm_tr);
+        assert!(d.total_delta_s < 0.0);
+        assert_eq!(d.stages[stage::ANALYSIS].1, 0.0);
+        // Hot-row profiling sees real rows.
+        let p = crate::profile::profile_trace(cold_tr, 10);
+        assert!(!p.top_rows.is_empty());
+        assert!((p.top_rows[0].row as usize) < a.rows());
     }
 
     #[test]

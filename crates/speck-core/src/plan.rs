@@ -180,6 +180,10 @@ pub struct SpgemmPlan<V> {
     pub(crate) setup_mem_bytes: usize,
     /// Blocks that spilled to a global hash map during the symbolic pass.
     pub(crate) sym_spilled_blocks: usize,
+    /// Execution trace of the setup stages, captured only when the plan
+    /// was built by a tracing engine — a cold execute resumes from it so
+    /// the combined trace covers the whole pipeline.
+    pub(crate) setup_trace: Option<crate::trace::ExecutionTrace>,
     pub(crate) _values: PhantomData<fn() -> V>,
 }
 

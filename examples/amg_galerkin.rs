@@ -20,7 +20,7 @@ use speck_repro::sparse::ops::{add_scaled, diagonal, scale_rows};
 use speck_repro::sparse::reference::spgemm_seq;
 use speck_repro::sparse::transpose::transpose;
 use speck_repro::sparse::{Coo, Csr};
-use speck_repro::speck::SpeckSpgemm;
+use speck_repro::speck::{diff_traces, SpeckSpgemm};
 
 /// Piecewise-constant aggregation: groups of `agg` consecutive unknowns
 /// share one coarse basis function.
@@ -161,4 +161,16 @@ fn main() {
         counter("sim/stage/analysis/launches"),
         counter("sim/stage/num. SpGEMM/launches"),
     );
+
+    // Where does the cold/warm gap come from? Trace one representative
+    // Galerkin product (fine-level A*A) cold and warm on a tracing engine
+    // and diff the per-stage / per-bin cycle attribution: the cold columns
+    // carry analysis + symbolic work, the warm columns only numeric + sort.
+    let tracer = SpeckSpgemm::default().with_tracing(true);
+    let (_, cold_rep) = tracer.multiply(&a, &a);
+    let (_, warm_rep) = tracer.multiply(&a2, &a2);
+    let cold_tr = cold_rep.trace.as_ref().expect("tracing engine");
+    let warm_tr = warm_rep.trace.as_ref().expect("tracing engine");
+    println!("\ncold vs warm trace for the fine-level product:");
+    print!("{}", diff_traces(cold_tr, warm_tr).render_table());
 }
