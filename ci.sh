@@ -14,6 +14,11 @@
 #                       #     trace twice (must be byte-identical), round-
 #                       #     trips it through --profile-from, and diffs a
 #                       #     trace against itself (all deltas zero)
+#   ./ci.sh --audit     # ... plus a decision-audit gate: exports an audit
+#                       #     report twice (must be byte-identical), diffs
+#                       #     it against itself (zero regret delta), and
+#                       #     checks the corpus decision statistics +
+#                       #     gate accuracy against BENCH_audit.json
 #
 # The flags compose into ONE bench_throughput invocation (a full run takes
 # minutes), so `--smoke --metrics` checks both gates against the same run.
@@ -33,12 +38,14 @@ run_bench=0
 run_smoke=0
 run_metrics=0
 run_trace=0
+run_audit=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --smoke) run_smoke=1 ;;
         --metrics) run_metrics=1 ;;
         --trace) run_trace=1 ;;
+        --audit) run_audit=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -68,7 +75,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace, release)"
 cargo test --workspace --release
 
-if [ "$run_bench" -eq 1 ] || [ "$run_smoke" -eq 1 ] || [ "$run_metrics" -eq 1 ]; then
+if [ "$run_bench" -eq 1 ] || [ "$run_smoke" -eq 1 ] || [ "$run_metrics" -eq 1 ] \
+    || [ "$run_audit" -eq 1 ]; then
     # One bench run serves every enabled gate.
     if [ "$run_bench" -eq 1 ]; then
         out=BENCH_throughput.json
@@ -88,9 +96,26 @@ if [ "$run_bench" -eq 1 ] || [ "$run_smoke" -eq 1 ] || [ "$run_metrics" -eq 1 ];
             --check-metrics BENCH_metrics.json)
         desc="$desc + metrics vs BENCH_metrics.json"
     fi
+    if [ "$run_audit" -eq 1 ]; then
+        # --bench regenerates the committed audit baseline alongside the
+        # throughput numbers; otherwise the fresh export is checked below.
+        if [ "$run_bench" -eq 1 ]; then
+            audit_new=BENCH_audit.json
+        else
+            audit_new=/tmp/BENCH_audit_new.json
+        fi
+        bench_args+=(--audit-out "$audit_new")
+        desc="$desc + audit -> $audit_new"
+    fi
     echo "==> $desc"
     cargo run --release -p speck-bench --bin bench_throughput -- "${bench_args[@]}"
     echo "metrics table: target/ci/metrics_table.txt"
+    if [ "$run_audit" -eq 1 ] && [ "$run_bench" -eq 0 ]; then
+        cmp "$audit_new" BENCH_audit.json \
+            || { echo "FAIL: corpus decision statistics drifted from BENCH_audit.json" \
+                 "(regenerate with ./ci.sh --bench --audit if intended)" >&2; exit 1; }
+        echo "audit gate: corpus decision statistics match BENCH_audit.json"
+    fi
 fi
 
 if [ "$run_trace" -eq 1 ]; then
@@ -114,6 +139,26 @@ if [ "$run_trace" -eq 1 ]; then
     grep -q "total delta: +0.000 us" /tmp/trace_selfdiff.txt \
         || { echo "FAIL: self-diff total delta is not zero" >&2; exit 1; }
     echo "trace artifacts: target/ci/trace.json, target/ci/trace_profile.txt"
+fi
+
+if [ "$run_audit" -eq 1 ]; then
+    echo "==> decision-audit smoke gate (export determinism + self-diff)"
+    mkdir -p target/ci
+    runspeck=(cargo run --release -p speck-bench --bin runspeck --)
+    # Two exports of the same workload must be byte-identical.
+    "${runspeck[@]}" --synthetic mesh3d 2 --iterations 1 --warmup 0 \
+        --audit-out target/ci/audit.json \
+        --audit-table target/ci/audit_table.txt >/dev/null
+    "${runspeck[@]}" --synthetic mesh3d 2 --iterations 1 --warmup 0 \
+        --audit-out /tmp/audit_repeat.json >/dev/null
+    cmp target/ci/audit.json /tmp/audit_repeat.json \
+        || { echo "FAIL: audit export is not deterministic" >&2; exit 1; }
+    # A report diffed against itself must show a zero regret delta.
+    "${runspeck[@]}" --audit-diff target/ci/audit.json target/ci/audit.json \
+        | tee /tmp/audit_selfdiff.txt
+    grep -q "regret delta: +0.000 cycles" /tmp/audit_selfdiff.txt \
+        || { echo "FAIL: self-diff regret delta is not zero" >&2; exit 1; }
+    echo "audit artifacts: target/ci/audit.json, target/ci/audit_table.txt"
 fi
 
 echo "CI OK"

@@ -13,8 +13,8 @@ use crate::common::{charge_count_kernel, charge_scatter_binning, csr_bytes, RunA
 use crate::{MethodResult, SpgemmMethod};
 use speck_core::analysis::analyze;
 use speck_core::cascade::{numeric_entry_bytes, symbolic_entry_bytes, KernelCascade};
-use speck_core::config::{LocalLbMode, SpeckConfig};
-use speck_core::global_lb::{AccMethod, BlockPlan, PassPlan, ThresholdSet};
+use speck_core::config::{GlobalLbMode, LocalLbMode, SpeckConfig};
+use speck_core::global_lb::{AccMethod, BlockPlan, GateProvenance, PassPlan, ThresholdSet};
 use speck_core::numeric::{row_ptr_from_nnz, run_numeric, NumericJob};
 use speck_core::symbolic::{group_blocks, run_symbolic};
 use speck_core::WorkspacePool;
@@ -96,6 +96,18 @@ fn plan(cascade: &KernelCascade, entries: &[u64], entry_bytes: usize) -> PassPla
         lb_alloc_bytes: entries.len() * 4 + cascade.len() * 8,
         decision_ratio: 0.0,
         decision_rows: entries.len(),
+        // nsparse bins unconditionally — there is no gate decision, so
+        // the provenance records an always-on gate with no thresholds.
+        gate: GateProvenance {
+            mode: GlobalLbMode::AlwaysOn,
+            ratio: 0.0,
+            rows: entries.len(),
+            needs_large_kernel: false,
+            threshold_set: ThresholdSet::Base,
+            thr_ratio: 0.0,
+            thr_rows: 0,
+            used_global_lb: true,
+        },
     }
 }
 

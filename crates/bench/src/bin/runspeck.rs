@@ -28,6 +28,11 @@
 //!                         exit (no multiply)
 //!   --trace-diff OLD NEW  diff two exported traces (e.g. cold vs warm
 //!                         plan) and exit
+//!   --audit-out PATH      run one cold audited multiply and write its
+//!                         decision-provenance report (canonical JSON)
+//!   --audit-table PATH    write the audit summary table to PATH
+//!                         ("-" prints it instead)
+//!   --audit-diff OLD NEW  diff two exported audit reports and exit
 //! ```
 
 use speck_baselines::{cusparse_like::CusparseLike, SpgemmMethod};
@@ -35,7 +40,7 @@ use speck_bench::cli::parse_flags;
 use speck_core::pipeline::stage;
 use speck_core::profile::{diff_traces, profile_trace};
 use speck_core::trace::ExecutionTrace;
-use speck_core::SpeckSpgemm;
+use speck_core::{diff_reports, DecisionReport, SpeckSpgemm};
 use speck_simt::{CostModel, DeviceConfig};
 use speck_sparse::gen::{banded, poisson_3d, rmat};
 use speck_sparse::io::{bin, mm};
@@ -59,6 +64,8 @@ struct Options {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     profile: bool,
+    audit_out: Option<String>,
+    audit_table: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -73,6 +80,9 @@ fn parse_args() -> Options {
             ("--trace-out", 1),
             ("--profile-from", 1),
             ("--trace-diff", 2),
+            ("--audit-out", 1),
+            ("--audit-table", 1),
+            ("--audit-diff", 2),
         ],
         &[
             "--individual-times",
@@ -96,6 +106,12 @@ fn parse_args() -> Options {
         print!("{}", diff_traces(&old, &new).render_table());
         std::process::exit(0);
     }
+    if let Some(paths) = parsed.values_of("--audit-diff") {
+        let old = read_audit(&paths[0]);
+        let new = read_audit(&paths[1]);
+        print!("{}", diff_reports(&old, &new).render_table());
+        std::process::exit(0);
+    }
 
     Options {
         input: parsed.positional.first().map(PathBuf::from),
@@ -112,6 +128,8 @@ fn parse_args() -> Options {
         metrics_out: parsed.value("--metrics-out").map(String::from),
         trace_out: parsed.value("--trace-out").map(String::from),
         profile: parsed.flag("--profile"),
+        audit_out: parsed.value("--audit-out").map(String::from),
+        audit_table: parsed.value("--audit-table").map(String::from),
     }
 }
 
@@ -120,6 +138,12 @@ fn read_trace(path: &str) -> ExecutionTrace {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
     ExecutionTrace::from_chrome_trace(&text)
         .unwrap_or_else(|e| panic!("cannot parse trace {path}: {e}"))
+}
+
+fn read_audit(path: &str) -> DecisionReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read audit {path}: {e}"));
+    DecisionReport::from_json(&text).unwrap_or_else(|e| panic!("cannot parse audit {path}: {e}"))
 }
 
 fn load(o: &Options) -> (Csr<f64>, String) {
@@ -255,6 +279,35 @@ fn main() {
         if o.profile {
             println!("\nprofile (one cold multiply):");
             print!("{}", profile_trace(&trace, PROFILE_TOP_K).render_table());
+        }
+    }
+
+    if o.audit_out.is_some() || o.audit_table.is_some() {
+        // One cold audited multiply on a dedicated engine, mirroring the
+        // trace section: the decision report covers the whole pipeline and
+        // the timing loop above stays free of capture overhead.
+        let audited = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_auditing(true);
+        let (_, au_report) = audited.multiply(&a, &b);
+        let audit = au_report.audit.expect("auditing engine attaches a report");
+        if let Some(path) = &o.audit_out {
+            std::fs::write(path, audit.canonical_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!(
+                "\naudit: {} decisions written to {path}",
+                audit.records.len()
+            );
+        }
+        if let Some(path) = &o.audit_table {
+            if path == "-" {
+                println!("\naudit (one cold multiply):");
+                print!("{}", audit.render_table());
+            } else {
+                std::fs::write(path, audit.render_table())
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                println!("audit table written to {path}");
+            }
         }
     }
 

@@ -88,7 +88,13 @@ mod tests {
     fn parse(args: &[&str]) -> Result<ParsedArgs, String> {
         parse_flags(
             args.iter().map(|s| s.to_string()),
-            &[("--iterations", 1), ("--synthetic", 2), ("--trace-diff", 2)],
+            &[
+                ("--iterations", 1),
+                ("--synthetic", 2),
+                ("--trace-diff", 2),
+                ("--audit-out", 1),
+                ("--audit-diff", 2),
+            ],
             &["--metrics", "--profile"],
         )
     }
@@ -137,5 +143,21 @@ mod tests {
     fn repeated_option_keeps_last() {
         let p = parse(&["--iterations", "2", "--iterations", "9"]).unwrap();
         assert_eq!(p.parsed_or("--iterations", 5usize), 9);
+    }
+
+    #[test]
+    fn audit_flags_parse_like_their_trace_counterparts() {
+        let p = parse(&["--audit-out", "audit.json", "--audit-diff", "old", "new"]).unwrap();
+        assert_eq!(p.value("--audit-out"), Some("audit.json"));
+        assert_eq!(
+            p.values_of("--audit-diff").unwrap(),
+            &["old".to_string(), "new".to_string()]
+        );
+        // Arity-2 diff options must not swallow a following option name
+        // silently: a missing second operand is an error.
+        assert!(parse(&["--audit-diff", "only-one"]).is_err());
+        // Operands that look like files never turn into positionals.
+        let p = parse(&["--audit-out", "a.json", "m.mtx"]).unwrap();
+        assert_eq!(p.positional, vec!["m.mtx"]);
     }
 }

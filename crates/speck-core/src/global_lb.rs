@@ -44,6 +44,32 @@ pub enum ThresholdSet {
     Large,
 }
 
+/// Everything the global-LB gate of one pass consulted, captured at
+/// decision time (paper §5 / Table 2): the measured features that drove
+/// the decision, the threshold values that fired, and the outcome. This
+/// is the provenance record the decision-audit layer
+/// ([`crate::audit`]) reconciles against measured execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateProvenance {
+    /// Configured mode the decision ran under.
+    pub mode: GlobalLbMode,
+    /// Measured demand-variance ratio `m_max / m_avg` over the hash rows.
+    pub ratio: f64,
+    /// Row count the decision consulted.
+    pub rows: usize,
+    /// Whether the longest row already demanded one of the large kernels
+    /// (selects the starred Table 2 column).
+    pub needs_large_kernel: bool,
+    /// Which threshold set gated the decision.
+    pub threshold_set: ThresholdSet,
+    /// Ratio threshold of the fired set.
+    pub thr_ratio: f64,
+    /// Min-rows threshold of the fired set.
+    pub thr_rows: usize,
+    /// The outcome: whether binning ran.
+    pub used_global_lb: bool,
+}
+
 /// Plan for one SpGEMM pass.
 #[derive(Clone, Debug)]
 pub struct PassPlan {
@@ -61,6 +87,9 @@ pub struct PassPlan {
     pub decision_ratio: f64,
     /// The row count the decision consulted.
     pub decision_rows: usize,
+    /// Full decision-time provenance of the gate (features + fired
+    /// thresholds), for the audit layer.
+    pub gate: GateProvenance,
 }
 
 /// Copyable decision summary of one pass plan — everything a
@@ -139,6 +168,17 @@ impl PassPlan {
 /// (hub rows can carry most of the matrix's data through this path).
 pub const DIRECT_ROWS_PER_BLOCK: usize = 128;
 
+/// The Table 2 threshold rule for one pass: global load balancing fires
+/// when the demand-variance ratio `m_max / m_avg` reaches `thr_ratio`
+/// *and* the matrix has at least `thr_rows` rows to amortise the binning
+/// kernels. Shared by the pipeline's gate ([`plan_symbolic`] /
+/// [`plan_numeric`]) and the auto-tuner's predictor
+/// ([`crate::tuning::predict`]), so audits of the one are claims about
+/// the other.
+pub fn lb_threshold_fires(ratio: f64, rows: usize, thr_ratio: f64, thr_rows: usize) -> bool {
+    ratio >= thr_ratio && rows >= thr_rows
+}
+
 /// Decides whether a pass should run the global load balancer.
 ///
 /// The paper's rule (§5): run it when the demand variance `m_max / m_avg`
@@ -155,21 +195,31 @@ fn decide_lb(
     thr_rows: usize,
     thr_ratio_large: f64,
     thr_rows_large: usize,
-) -> (bool, ThresholdSet) {
+) -> GateProvenance {
     let set = if needs_large_kernel {
         ThresholdSet::Large
     } else {
         ThresholdSet::Base
     };
+    let (fired_ratio, fired_rows) = match set {
+        ThresholdSet::Base => (thr_ratio, thr_rows),
+        ThresholdSet::Large => (thr_ratio_large, thr_rows_large),
+    };
     let on = match mode {
         GlobalLbMode::AlwaysOn => true,
         GlobalLbMode::AlwaysOff => false,
-        GlobalLbMode::Auto => match set {
-            ThresholdSet::Base => ratio >= thr_ratio && rows >= thr_rows,
-            ThresholdSet::Large => ratio >= thr_ratio_large && rows >= thr_rows_large,
-        },
+        GlobalLbMode::Auto => lb_threshold_fires(ratio, rows, fired_ratio, fired_rows),
     };
-    (on, set)
+    GateProvenance {
+        mode,
+        ratio,
+        rows,
+        needs_large_kernel,
+        threshold_set: set,
+        thr_ratio: fired_ratio,
+        thr_rows: fired_rows,
+        used_global_lb: on,
+    }
 }
 
 /// Charges the simulated cost of the order-preserving binning kernel
@@ -274,7 +324,8 @@ fn plan_pass(
         .fit_hash(max_entries as usize, entry_bytes)
         .unwrap_or(largest);
     let needs_large = max_cfg >= large_kernel_cut;
-    let (use_lb, set) = decide_lb(mode, ratio, n, needs_large, thr.0, thr.1, thr.2, thr.3);
+    let gate = decide_lb(mode, ratio, n, needs_large, thr.0, thr.1, thr.2, thr.3);
+    let (use_lb, set) = (gate.used_global_lb, gate.threshold_set);
 
     let mut blocks: Vec<BlockPlan> = Vec::new();
     let mut lb_reports = Vec::new();
@@ -383,6 +434,7 @@ fn plan_pass(
         lb_alloc_bytes,
         decision_ratio: ratio,
         decision_rows: n,
+        gate,
     }
 }
 

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
 pub mod block_merge;
 pub mod cascade;
 pub mod config;
@@ -78,6 +79,9 @@ pub mod tuning;
 pub mod workspace;
 
 pub use analysis::{analyze, AnalysisInfo, RowInfo};
+pub use audit::{
+    diff_reports, AuditDiff, AuditGroupStats, DecisionRecord, DecisionReport, Verdict, AUDIT_FORMAT,
+};
 pub use cascade::KernelCascade;
 pub use config::{GlobalLbMode, GlobalLbThresholds, LocalLbMode, SpeckConfig};
 pub use metrics::{

@@ -71,6 +71,50 @@ pub fn rounds_for_g(g: usize, threads: usize, b_row_lens: &[u64]) -> u64 {
     speck_simt::simulate_group_rounds(k, b_row_lens.iter().map(|&l| l.div_ceil(g as u64)))
 }
 
+/// Work/span lower bound on the issue rounds a block needs at group size
+/// `g`, from the same summary features [`select_group_size`] consulted
+/// (`nnz_a` tasks totalling `products` B entries, longest row
+/// `max_b_row`). Total group iterations are `sum(ceil(l_r / g)) >=
+/// max(ceil(products / g), nnz_a)` — the `nnz_a` floor is what makes
+/// oversized groups expensive (idle lanes still cost a round per task,
+/// paper Fig. 1/13). The work bound spreads those iterations over the
+/// `k = T/g` groups; the span bound is the longest row alone. The
+/// decision-audit layer scales a block's *measured* rounds by the ratio
+/// of these estimates to shadow-cost a rejected group size.
+pub fn estimated_rounds(
+    g: usize,
+    threads: usize,
+    nnz_a: u64,
+    products: u64,
+    max_b_row: u64,
+) -> u64 {
+    if nnz_a == 0 || products == 0 {
+        return 1;
+    }
+    let g = g.max(1) as u64;
+    let k = ((threads as u64) / g).max(1);
+    let iters = products.div_ceil(g).max(nnz_a);
+    let work = iters.div_ceil(k);
+    let span = max_b_row.div_ceil(g);
+    work.max(span).max(1)
+}
+
+/// The group sizes the dynamic selector rejected in favour of `g`: the
+/// neighbouring powers of two (half and double), clamped to
+/// `[1, threads]` — the counterfactual candidates a decision audit
+/// shadow-costs against the chosen `g`.
+pub fn alternative_group_sizes(g: usize, threads: usize) -> Vec<usize> {
+    let g = g.clamp(1, threads.max(1));
+    let mut alts = Vec::new();
+    if g > 1 {
+        alts.push(g / 2);
+    }
+    if g.saturating_mul(2) <= threads {
+        alts.push(g * 2);
+    }
+    alts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +194,62 @@ mod tests {
             r_dyn * 4 <= r_fix,
             "dynamic rounds {r_dyn} vs fixed-32 rounds {r_fix}"
         );
+    }
+
+    #[test]
+    fn group_size_boundaries_one_and_thread_cap() {
+        // g pinned at the low boundary.
+        assert_eq!(
+            select_group_size(LocalLbMode::Fixed(1), 1024, 10, 100, 10),
+            1
+        );
+        // Fixed g above the block size clamps to the thread-count cap.
+        assert_eq!(
+            select_group_size(LocalLbMode::Fixed(usize::MAX), 128, 10, 100, 10),
+            128
+        );
+        // Dynamic with one giant row saturates at g == threads.
+        assert_eq!(
+            select_group_size(LocalLbMode::Dynamic, 64, 1, 1 << 20, 1 << 20),
+            64
+        );
+        // Dynamic with uniform length-1 rows and ample work stays at g == 1.
+        assert_eq!(
+            select_group_size(LocalLbMode::Dynamic, 64, 4096, 4096, 1),
+            1
+        );
+    }
+
+    #[test]
+    fn estimated_rounds_work_and_span_bounds() {
+        // Empty block: one round by convention, like the selector's g=1.
+        assert_eq!(estimated_rounds(32, 256, 0, 0, 0), 1);
+        // Span-bound: one row of 4096 at g=32 needs 128 iterations.
+        assert_eq!(estimated_rounds(32, 256, 1, 4096, 4096), 128);
+        // Work-bound: 8 groups of g=32 over 2048 products -> 8 rounds.
+        assert_eq!(estimated_rounds(32, 256, 64, 2048, 32), 8);
+        // Oversized groups idle lanes: every task still needs at least
+        // one round, and fewer groups serialise the tasks (the Fig. 1/13
+        // waste the dynamic selector avoids).
+        assert_eq!(estimated_rounds(256, 256, 64, 2048, 32), 64);
+        // Undersized groups stretch the longest row (straggler span).
+        assert_eq!(estimated_rounds(1, 256, 1, 4096, 4096), 4096);
+    }
+
+    #[test]
+    fn alternative_group_sizes_are_neighbours_within_block() {
+        assert_eq!(alternative_group_sizes(32, 256), vec![16, 64]);
+        // At the boundaries only the inward neighbour survives.
+        assert_eq!(alternative_group_sizes(1, 256), vec![2]);
+        assert_eq!(alternative_group_sizes(256, 256), vec![128]);
+        // Degenerate one-thread block has no alternatives at all.
+        assert_eq!(alternative_group_sizes(1, 1), Vec::<usize>::new());
+        for &(g, t) in &[(8usize, 64usize), (1, 32), (64, 64)] {
+            for alt in alternative_group_sizes(g, t) {
+                assert!(alt >= 1 && alt <= t && alt != g);
+                assert!(alt.is_power_of_two());
+            }
+        }
     }
 
     #[test]

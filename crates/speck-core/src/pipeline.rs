@@ -88,6 +88,13 @@ pub struct MultiplyReport {
     /// pipeline (setup + execution); reused calls cover only the stages
     /// that ran. `Arc` so cloning reports stays cheap.
     pub trace: Option<Arc<ExecutionTrace>>,
+    /// Decision-provenance report reconciling every pipeline decision
+    /// (gating, binning, merge, accumulator, group size) against measured
+    /// per-block cycles and shadow-cost estimates of the rejected
+    /// alternatives. Present only when the engine was built
+    /// [`SpeckSpgemm::with_auditing`]; reused calls audit only the
+    /// decisions whose kernels actually ran (the numeric half).
+    pub audit: Option<Arc<crate::audit::DecisionReport>>,
 }
 
 impl MultiplyReport {
@@ -125,6 +132,7 @@ pub struct SpeckSpgemm {
     plans: Arc<Mutex<PlanCache>>,
     metrics: Arc<MetricsRegistry>,
     tracing: bool,
+    auditing: bool,
 }
 
 impl Default for SpeckSpgemm {
@@ -137,6 +145,7 @@ impl Default for SpeckSpgemm {
             plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
             metrics: Arc::new(MetricsRegistry::new()),
             tracing: false,
+            auditing: false,
         }
     }
 }
@@ -172,6 +181,24 @@ impl SpeckSpgemm {
     /// Whether execution tracing is enabled.
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Enables (or disables) decision auditing: every multiply through
+    /// this engine captures per-block schedules (like tracing) and
+    /// attaches a [`crate::audit::DecisionReport`] reconciling each
+    /// pipeline decision against measured cycles and shadow-cost
+    /// estimates of the rejected alternatives. Auditing never changes
+    /// simulated results — the report is built read-only from the
+    /// finished trace. Off by default, and the disabled path adds no
+    /// work beyond tracing's one atomic load per launch.
+    pub fn with_auditing(mut self, on: bool) -> Self {
+        self.auditing = on;
+        self
+    }
+
+    /// Whether decision auditing is enabled.
+    pub fn auditing(&self) -> bool {
+        self.auditing
     }
 
     /// Shares a metrics registry: every multiply through this engine (and
@@ -239,11 +266,12 @@ impl SpeckSpgemm {
     /// plan: device, cost model, and configuration. Part of the cache key,
     /// so mutating the engine's public fields never revives a stale plan.
     fn env_digest(&self) -> u64 {
-        // Tracing is part of the key: a tracing engine must not revive a
-        // plan that carries no setup trace (and vice versa).
+        // Tracing and auditing are part of the key: an observing engine
+        // must not revive a plan that carries no setup trace (and vice
+        // versa).
         let env = format!(
-            "{:?}|{:?}|{:?}|trace={}",
-            self.device, self.cost, self.config, self.tracing
+            "{:?}|{:?}|{:?}|trace={}|audit={}",
+            self.device, self.cost, self.config, self.tracing, self.auditing
         );
         fnv1a_bytes(env.as_bytes())
     }
@@ -257,7 +285,8 @@ impl SpeckSpgemm {
     pub fn multiply<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> (Csr<V>, MultiplyReport) {
         let m = MetricsSink::new(&self.metrics);
         m.add("engine/multiply_calls", 1);
-        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
+        let observe = self.tracing || self.auditing;
+        let _capture = observe.then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         if self.plans.lock().unwrap().capacity() == 0 {
             let plan = plan_inner(
@@ -267,7 +296,7 @@ impl SpeckSpgemm {
                 a,
                 b,
                 &pool,
-                self.tracing,
+                observe,
                 m,
             );
             return execute_inner(
@@ -280,6 +309,7 @@ impl SpeckSpgemm {
                 &pool,
                 false,
                 self.tracing,
+                self.auditing,
                 m,
             );
         }
@@ -296,6 +326,7 @@ impl SpeckSpgemm {
                     &pool,
                     true,
                     self.tracing,
+                    self.auditing,
                     m,
                 );
             }
@@ -307,7 +338,7 @@ impl SpeckSpgemm {
             a,
             b,
             &pool,
-            self.tracing,
+            observe,
             m,
         ));
         let out = execute_inner(
@@ -320,6 +351,7 @@ impl SpeckSpgemm {
             &pool,
             false,
             self.tracing,
+            self.auditing,
             m,
         );
         self.plans.lock().unwrap().insert(key, plan);
@@ -331,7 +363,8 @@ impl SpeckSpgemm {
     /// plan. Pair with [`SpeckSpgemm::execute_plan`] to amortise the setup
     /// across many multiplications of the same pattern.
     pub fn plan<V: Scalar>(&self, a: &Csr<V>, b: &Csr<V>) -> SpgemmPlan<V> {
-        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
+        let observe = self.tracing || self.auditing;
+        let _capture = observe.then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         plan_inner(
             &self.device,
@@ -340,7 +373,7 @@ impl SpeckSpgemm {
             a,
             b,
             &pool,
-            self.tracing,
+            observe,
             MetricsSink::new(&self.metrics),
         )
     }
@@ -357,7 +390,7 @@ impl SpeckSpgemm {
         a: &Csr<V>,
         b: &Csr<V>,
     ) -> (Csr<V>, MultiplyReport) {
-        let _capture = self.tracing.then(speck_simt::CaptureGuard::new);
+        let _capture = (self.tracing || self.auditing).then(speck_simt::CaptureGuard::new);
         let pool = self.workspaces.pool::<V>();
         execute_inner(
             &self.device,
@@ -369,6 +402,7 @@ impl SpeckSpgemm {
             &pool,
             true,
             self.tracing,
+            self.auditing,
             MetricsSink::new(&self.metrics),
         )
     }
@@ -425,6 +459,7 @@ pub fn multiply_with_pool<V: Scalar>(
         pool,
         false,
         false,
+        false,
         MetricsSink::none(),
     )
 }
@@ -457,7 +492,7 @@ fn plan_inner<V: Scalar>(
     a: &Csr<V>,
     b: &Csr<V>,
     pool: &WorkspacePool<V>,
-    tracing: bool,
+    observe: bool,
     m: MetricsSink<'_>,
 ) -> SpgemmPlan<V> {
     assert_eq!(a.cols(), b.rows(), "spECK multiply: dimension mismatch");
@@ -466,7 +501,9 @@ fn plan_inner<V: Scalar>(
     let mut timeline = Timeline::new();
     // The tracer mirrors every timeline call below, in the same order, so
     // the finished trace reconciles with the timeline bit-for-bit.
-    let mut tracer = tracing.then(|| TraceBuilder::new(dev));
+    // `observe` is tracing OR auditing: the audit layer reads the same
+    // setup trace a cold execute resumes from.
+    let mut tracer = observe.then(|| TraceBuilder::new(dev));
     let mut setup_mem_bytes = 0usize;
     let alloc_s = |n: usize| dev.cycles_to_seconds(dev.alloc_overhead_cycles) * n as f64;
 
@@ -587,6 +624,7 @@ fn plan_inner<V: Scalar>(
         a_nnz: a.nnz(),
         b_nnz: b.nnz(),
         symbolic: splan.summary(),
+        sym_gate: splan.gate,
         numeric: nplan.summary(),
         info,
         nplan,
@@ -624,6 +662,7 @@ pub fn execute_plan_with_pool<V: Scalar>(
         pool,
         true,
         false,
+        false,
         MetricsSink::none(),
     )
 }
@@ -646,6 +685,7 @@ fn execute_inner<V: Scalar>(
     pool: &WorkspacePool<V>,
     reused: bool,
     tracing: bool,
+    auditing: bool,
     m: MetricsSink<'_>,
 ) -> (Csr<V>, MultiplyReport) {
     plan.check_shape(a, b);
@@ -662,8 +702,9 @@ fn execute_inner<V: Scalar>(
     };
     // Mirrors the timeline exactly: a reused call traces only the stages
     // that run; a cold call resumes from the plan's setup trace so the
-    // combined trace covers the whole pipeline.
-    let mut tracer = tracing.then(|| {
+    // combined trace covers the whole pipeline. Auditing rides on the
+    // same trace even when the caller asked for no trace in the report.
+    let mut tracer = (tracing || auditing).then(|| {
         if reused {
             TraceBuilder::new(dev)
         } else {
@@ -715,6 +756,27 @@ fn execute_inner<V: Scalar>(
         }
     }
 
+    // The audit is built read-only from the finished trace *after* every
+    // kernel ran: it never changes simulated results.
+    let finished = tracer.map(TraceBuilder::finish);
+    let audit = if auditing {
+        finished.as_ref().map(|tr| {
+            Arc::new(crate::audit::build_report(
+                dev,
+                cost,
+                cfg,
+                &plan.info,
+                &plan.row_nnz,
+                &plan.sym_gate,
+                &plan.nplan.gate,
+                plan.b_cols,
+                std::mem::size_of::<V>(),
+                tr,
+            ))
+        })
+    } else {
+        None
+    };
     let report = MultiplyReport {
         sim_time_s: timeline.total_seconds(),
         peak_mem_bytes: mem.peak(),
@@ -729,7 +791,12 @@ fn execute_inner<V: Scalar>(
         radix_elems: num.radix_elems,
         products: plan.info.total_products,
         reused_plan: reused,
-        trace: tracer.map(|t| Arc::new(t.finish())),
+        trace: if tracing {
+            finished.map(Arc::new)
+        } else {
+            None
+        },
+        audit,
         timeline,
     };
     (num.c, report)

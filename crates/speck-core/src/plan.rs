@@ -28,7 +28,7 @@
 //! kernels at all, so its simulated time drops along with the wall clock.
 
 use crate::analysis::AnalysisInfo;
-use crate::global_lb::{PassPlan, PassSummary};
+use crate::global_lb::{GateProvenance, PassPlan, PassSummary};
 use speck_simt::Timeline;
 use speck_sparse::{Csr, Scalar};
 use std::any::{Any, TypeId};
@@ -160,6 +160,10 @@ pub struct SpgemmPlan<V> {
     pub(crate) info: AnalysisInfo,
     /// Decision summary of the symbolic pass (for reporting).
     pub(crate) symbolic: PassSummary,
+    /// Gate provenance of the symbolic pass (the numeric pass's lives in
+    /// `nplan.gate`) — the decision audit reconstructs the global-LB
+    /// counterfactual from it.
+    pub(crate) sym_gate: GateProvenance,
     /// Decision summary of the numeric pass (for reporting).
     pub(crate) numeric: PassSummary,
     /// The numeric block plan (bins, methods, kernel configurations).

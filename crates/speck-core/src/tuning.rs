@@ -94,17 +94,30 @@ pub fn measure<V: Scalar>(
     }
 }
 
-/// The combination a threshold set would choose for a measurement.
+/// The combination a threshold set would choose for a measurement. Uses
+/// the same predicate ([`crate::global_lb::lb_threshold_fires`]) as the
+/// pipeline's gate, so tuner predictions and audit provenance agree.
 pub fn predict(t: &GlobalLbThresholds, m: &MatrixMeasurement) -> (bool, bool) {
+    use crate::global_lb::lb_threshold_fires;
     let sym_on = if m.sym.2 {
-        m.sym.0 >= t.symbolic_ratio_large && m.sym.1 >= t.symbolic_min_rows_large
+        lb_threshold_fires(
+            m.sym.0,
+            m.sym.1,
+            t.symbolic_ratio_large,
+            t.symbolic_min_rows_large,
+        )
     } else {
-        m.sym.0 >= t.symbolic_ratio && m.sym.1 >= t.symbolic_min_rows
+        lb_threshold_fires(m.sym.0, m.sym.1, t.symbolic_ratio, t.symbolic_min_rows)
     };
     let num_on = if m.num.2 {
-        m.num.0 >= t.numeric_ratio_large && m.num.1 >= t.numeric_min_rows_large
+        lb_threshold_fires(
+            m.num.0,
+            m.num.1,
+            t.numeric_ratio_large,
+            t.numeric_min_rows_large,
+        )
     } else {
-        m.num.0 >= t.numeric_ratio && m.num.1 >= t.numeric_min_rows
+        lb_threshold_fires(m.num.0, m.num.1, t.numeric_ratio, t.numeric_min_rows)
     };
     (sym_on, num_on)
 }
@@ -351,6 +364,46 @@ mod tests {
         );
         assert!(t.symbolic_ratio > 5.0 && t.symbolic_ratio <= 50.0);
         assert_eq!(accuracy(&t, &meas), 1.0);
+    }
+
+    #[test]
+    fn empty_measurement_set_degenerates_gracefully() {
+        let t = GlobalLbThresholds::scaled_default();
+        assert_eq!(loss(&t, &[]), 0.0);
+        assert_eq!(accuracy(&t, &[]), 1.0);
+        // Line search over nothing keeps the starting thresholds.
+        assert_eq!(line_search(&[], t), t);
+    }
+
+    #[test]
+    fn predict_on_single_measurement_matches_gate_predicate() {
+        let t = GlobalLbThresholds::scaled_default();
+        // Exactly on the base threshold: >= fires on both features.
+        let m = MatrixMeasurement {
+            name: "edge".into(),
+            sym: (t.symbolic_ratio, t.symbolic_min_rows, false),
+            num: (t.numeric_ratio, t.numeric_min_rows - 1, false),
+            times: [1.0; 4],
+        };
+        assert_eq!(predict(&t, &m), (true, false));
+        assert_eq!(accuracy(&t, std::slice::from_ref(&m)), 1.0); // all times tie
+                                                                 // Starred matrices consult the `_large` thresholds instead.
+        let starred = MatrixMeasurement {
+            sym: (t.symbolic_ratio_large, t.symbolic_min_rows_large, true),
+            num: (0.0, 0, true),
+            ..m
+        };
+        assert_eq!(predict(&t, &starred), (true, false));
+    }
+
+    #[test]
+    fn cross_validate_single_measurement_two_folds() {
+        // One fold ends up empty; line_search and loss must cope.
+        let m = synth_measurement("solo", 100.0, combo_index(true, true));
+        let cv = cross_validate(&[m], 2);
+        assert_eq!(cv.fold_thresholds.len(), 2);
+        assert!(cv.final_loss.is_finite());
+        assert!(cv.final_accuracy >= 0.0 && cv.final_accuracy <= 1.0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use speck_repro::sparse::ops::{add_scaled, diagonal, scale_rows};
 use speck_repro::sparse::reference::spgemm_seq;
 use speck_repro::sparse::transpose::transpose;
 use speck_repro::sparse::{Coo, Csr};
-use speck_repro::speck::{diff_traces, SpeckSpgemm};
+use speck_repro::speck::{diff_reports, diff_traces, SpeckSpgemm};
 
 /// Piecewise-constant aggregation: groups of `agg` consecutive unknowns
 /// share one coarse basis function.
@@ -173,4 +173,18 @@ fn main() {
     let warm_tr = warm_rep.trace.as_ref().expect("tracing engine");
     println!("\ncold vs warm trace for the fine-level product:");
     print!("{}", diff_traces(cold_tr, warm_tr).render_table());
+
+    // The same cold/warm pair through the decision audit: the warm run
+    // reuses its plan, so every symbolic-pass decision (gate, binning,
+    // accumulator choice) disappears from the report — the diff shows
+    // exactly which decisions plan reuse skipped and what their
+    // reconciled regret was.
+    let auditor = SpeckSpgemm::default().with_auditing(true);
+    let (_, cold_au) = auditor.multiply(&a, &a);
+    let (_, warm_au) = auditor.multiply(&a2, &a2);
+    let cold_audit = cold_au.audit.as_ref().expect("auditing engine");
+    let warm_audit = warm_au.audit.as_ref().expect("auditing engine");
+    assert!(warm_au.reused_plan, "second multiply must be warm");
+    println!("\ncold vs warm decision audit for the fine-level product:");
+    print!("{}", diff_reports(cold_audit, warm_audit).render_table());
 }

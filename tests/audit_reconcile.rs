@@ -1,0 +1,110 @@
+//! Property tests reconciling the decision audit with the pipeline it
+//! describes. The audit is only trustworthy if (a) turning it on never
+//! changes what the pipeline computes — same output, same simulated time
+//! bit-for-bit — and (b) its own numbers are internally consistent: the
+//! shadow-cost estimate of the *chosen* option is the identity shadow
+//! cost of the measured execution, so it must equal the recorded measured
+//! cycles bit-for-bit for every decision.
+
+use proptest::prelude::*;
+use speck_repro::sparse::{Coo, Csr};
+use speck_repro::speck::{diff_reports, DecisionReport, SpeckSpgemm, Verdict};
+
+fn arb_square_csr(n: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
+    proptest::collection::vec(
+        (
+            0..n as u32,
+            0..n as u32,
+            (-200i32..200).prop_map(|v| v as f64 / 16.0 + 0.125),
+        ),
+        1..=max_nnz,
+    )
+    .prop_map(move |trips| {
+        let mut coo: Coo<f64> = Coo::new(n, n);
+        for (r, c, v) in trips {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Auditing must not perturb the simulation: audit-on and audit-off
+    /// runs produce identical results and identical reports.
+    #[test]
+    fn audit_is_simulation_neutral(a in arb_square_csr(48, 500)) {
+        let plain = SpeckSpgemm::default().with_plan_cache_capacity(0);
+        let audited = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_auditing(true);
+        let (c0, r0) = plain.multiply(&a, &a);
+        let (c1, r1) = audited.multiply(&a, &a);
+
+        prop_assert!(c0.pattern_eq(&c1));
+        prop_assert!(c0.approx_eq(&c1, 0.0, 0.0));
+        prop_assert_eq!(r0.sim_time_s.to_bits(), r1.sim_time_s.to_bits());
+        prop_assert_eq!(r0.peak_mem_bytes, r1.peak_mem_bytes);
+        prop_assert!(r0.audit.is_none());
+        prop_assert!(r1.audit.is_some());
+        // Auditing alone attaches no trace — the trace is tracing's.
+        prop_assert!(r1.trace.is_none());
+    }
+
+    /// The chosen option's shadow cost is the identity cost of the
+    /// measured execution: bit-equal to the measured cycles, for every
+    /// decision of every kind. Mispredictions carry positive regret and
+    /// everything reconciles to a sane verdict.
+    #[test]
+    fn chosen_shadow_cost_is_the_measured_cost(a in arb_square_csr(40, 400)) {
+        let audited = SpeckSpgemm::default()
+            .with_plan_cache_capacity(0)
+            .with_auditing(true);
+        let (_, rep) = audited.multiply(&a, &a);
+        let audit = rep.audit.as_ref().expect("auditing engine attaches a report");
+        prop_assert!(!audit.records.is_empty());
+        for d in &audit.records {
+            prop_assert_eq!(
+                d.chosen_est_cycles.to_bits(),
+                d.measured_cycles.to_bits(),
+                "{}/{} {}", &d.stage, d.kind, &d.subject
+            );
+            prop_assert!(d.regret_cycles >= 0.0);
+            match d.verdict {
+                Verdict::Misprediction => prop_assert!(d.regret_cycles > 0.0),
+                _ => prop_assert_eq!(d.regret_cycles, 0.0),
+            }
+            for alt in &d.alternatives {
+                prop_assert!(alt.est_cycles.is_finite());
+                prop_assert!(alt.est_cycles >= 0.0);
+            }
+        }
+        // The summary folds exactly over the records.
+        let t = audit.totals();
+        prop_assert_eq!(t.decisions, audit.records.len());
+        prop_assert_eq!(t.confirmed + t.mispredictions + t.ties, t.decisions);
+    }
+
+    /// The canonical JSON is byte-deterministic across engines, parses
+    /// back to the same report, and a report diffed against itself is
+    /// empty.
+    #[test]
+    fn canonical_json_is_deterministic_and_lossless(a in arb_square_csr(32, 300)) {
+        let run = || {
+            let engine = SpeckSpgemm::default()
+                .with_plan_cache_capacity(0)
+                .with_auditing(true);
+            let (_, rep) = engine.multiply(&a, &a);
+            rep.audit.expect("audit").canonical_json()
+        };
+        let j1 = run();
+        let j2 = run();
+        prop_assert_eq!(&j1, &j2);
+        let parsed = DecisionReport::from_json(&j1).expect("exported audit parses");
+        prop_assert_eq!(parsed.canonical_json(), j1.clone());
+        let d = diff_reports(&parsed, &parsed);
+        prop_assert!(d.cells.is_empty());
+        prop_assert_eq!(d.regret_delta_cycles.to_bits(), 0.0f64.to_bits());
+    }
+}
